@@ -1,0 +1,13 @@
+"""Small helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["write_figure_output"]
+
+
+def write_figure_output(output_dir: Path, name: str, text: str) -> None:
+    """Write a figure's textual representation to ``benchmarks/output/<name>.txt``."""
+    path = Path(output_dir) / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf8")

@@ -1,0 +1,56 @@
+"""Ablation — original versus refined interval subdivision.
+
+The R suffix of the variant names toggles the refined subdivision derived from
+block alignments.  This ablation compares the greedy phase with and without
+refinement (no local search, to isolate the effect) over a batch of instances
+and reports the mean carbon cost and the number of candidate start points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.greedy import greedy_schedule
+from repro.core.subdivision import original_subdivision, refined_subdivision
+from repro.experiments.instances import InstanceSpec, make_instance
+from repro.experiments.reporting import format_table
+from repro.schedule.cost import carbon_cost
+
+from bench_utils import write_figure_output
+
+SPECS = [
+    InstanceSpec("methylseq", 40, "small", scenario, factor, seed=seed)
+    for scenario in ("S1", "S3")
+    for factor in (1.5, 3.0)
+    for seed in (0, 1)
+]
+
+
+def run_comparison():
+    instances = [make_instance(spec, master_seed=51) for spec in SPECS]
+    rows = []
+    for base in ("slack", "pressure"):
+        for refined in (False, True):
+            costs = [
+                carbon_cost(greedy_schedule(instance, base=base, refined=refined))
+                for instance in instances
+            ]
+            rows.append((base, refined, float(np.mean(costs))))
+    points = {
+        "original": float(np.mean([len(original_subdivision(i.profile)) for i in instances])),
+        "refined": float(np.mean([len(refined_subdivision(i)) for i in instances])),
+    }
+    return rows, points
+
+
+def test_ablation_subdivision(benchmark, output_dir):
+    rows, points = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    table_rows = [[base, "refined" if refined else "original", cost] for base, refined, cost in rows]
+    table_rows.append(["(candidate start points)", "original", points["original"]])
+    table_rows.append(["(candidate start points)", "refined", points["refined"]])
+    text = format_table(table_rows, ["base score", "subdivision", "mean cost / count"])
+    print("\nAblation — original vs refined interval subdivision (greedy only)\n" + text)
+    write_figure_output(output_dir, "ablation_subdivision", text)
+
+    # The refined subdivision offers strictly more candidate start points.
+    assert points["refined"] >= points["original"]

@@ -1,0 +1,34 @@
+"""Single-processor dynamic program (§4.1) — optimality and runtime.
+
+Not a figure of the paper, but the theoretical backbone of the refined
+subdivision: on a single processor the DP is optimal in polynomial time.  This
+benchmark times the DP and reports, per instance, the DP optimum next to the
+best heuristic and ASAP (the heuristics can never beat the DP).
+"""
+
+from __future__ import annotations
+
+from repro.exact.dp_single import dp_single_processor
+from repro.experiments.figures import dp_single_processor_comparison
+from repro.experiments.instances import single_processor_instance
+from repro.experiments.reporting import format_table
+
+from bench_utils import write_figure_output
+
+
+def test_dp_single_processor(benchmark, output_dir):
+    rows = dp_single_processor_comparison(sizes=(4, 6, 8), scenarios=("S1", "S3"), seed=0)
+    text = format_table(
+        [[r["tasks"], r["scenario"], r["dp_optimal"], r["best_heuristic"], r["asap"]] for r in rows],
+        ["tasks", "scenario", "DP optimum", "best heuristic", "ASAP"],
+    )
+    print("\nSingle-processor DP vs heuristics\n" + text)
+    write_figure_output(output_dir, "dp_single_processor", text)
+
+    for row in rows:
+        assert row["dp_optimal"] <= row["best_heuristic"] <= row["asap"] or (
+            row["best_heuristic"] <= row["asap"]
+        )
+
+    instance = single_processor_instance(8, scenario="S1", deadline_factor=2.0, seed=0)
+    benchmark(lambda: dp_single_processor(instance))

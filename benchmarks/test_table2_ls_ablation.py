@@ -1,0 +1,51 @@
+"""Table 2 — influence of the local search (ablation).
+
+The paper runs the refined greedy variants with and without local search on
+the atacseq and bacass subsets and reports the min / max / average of the cost
+ratio (with LS / without LS): averages around 0.23–0.25, i.e. the local search
+improves the greedy schedules by roughly 4×, and ratios range from 0 (LS
+reaches zero cost) to 1 (no improvement).  The hill-climbing design guarantees
+the ratio never exceeds 1; the magnitude of the improvement depends on the
+instance scale, so the shape check here is the upper bound plus the existence
+of instances where the LS strictly improves the schedule.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import table2_local_search_ablation
+from repro.experiments.instances import InstanceSpec
+from repro.experiments.reporting import format_table
+
+from bench_utils import write_figure_output
+
+SPECS = [
+    InstanceSpec(family, size, "small", scenario, factor, seed=seed)
+    for family in ("atacseq", "bacass")
+    for size in (35,)
+    for scenario in ("S1", "S2", "S3", "S4")
+    for factor in (1.0, 1.5)
+    for seed in (0, 1)
+]
+
+
+def test_table2_local_search_ablation(benchmark, output_dir):
+    table = benchmark.pedantic(
+        table2_local_search_ablation,
+        args=(SPECS,),
+        kwargs={"master_seed": 11},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [name, stats["min"], stats["max"], stats["avg"], stats["instances"]]
+        for name, stats in table.items()
+    ]
+    text = format_table(rows, ["variant", "min", "max", "avg", "instances"])
+    print("\nTable 2 — cost ratio with LS / without LS\n" + text)
+    write_figure_output(output_dir, "table2_ls_ablation", text)
+
+    for name, stats in table.items():
+        assert stats["max"] <= 1.0 + 1e-9, f"{name}: local search made a schedule worse"
+        assert 0.0 <= stats["min"] <= 1.0
+    # The local search strictly improves at least one greedy schedule.
+    assert any(stats["avg"] < 1.0 - 1e-9 for stats in table.values())

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Scheduling against public-style carbon-intensity traces.
+
+The paper models green power with synthetic scenario shapes (S1–S4); real
+deployments would instead consume a grid carbon-intensity feed (ElectricityMaps,
+a national TSO, ...).  This example exercises that code path: the same
+bioinformatics workflow is scheduled in four "regions" whose daily intensity
+shape differs (solar-dominated, wind-dominated, nuclear/flat, coal-heavy) and
+the resulting savings of the carbon-aware scheduler over ASAP are compared.
+
+The traces are synthetic stand-ins shipped with the library (no network
+access needed); dropping in a real 24-hour trace only requires constructing a
+:class:`repro.CarbonIntensityTrace` from its values.
+
+Run with:  python examples/carbon_trace_datacenter.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ProblemInstance,
+    asap_makespan,
+    build_enhanced_dag,
+    generate_workflow,
+    heft_mapping,
+    profile_from_trace,
+    run_all_variants,
+    scaled_large_cluster,
+    synthetic_daily_trace,
+)
+
+REGIONS = {
+    "solar-dominated grid": "solar",
+    "wind-dominated grid": "wind",
+    "nuclear / hydro grid": "nuclear",
+    "coal-heavy grid": "coal",
+}
+
+VARIANTS = ["ASAP", "slackWR-LS", "pressWR-LS"]
+
+
+def main() -> None:
+    workflow = generate_workflow("eager", num_tasks=120, rng=7)
+    cluster = scaled_large_cluster()
+    heft = heft_mapping(workflow, cluster)
+    dag = build_enhanced_dag(heft.mapping, rng=7)
+    deadline = 3 * asap_makespan(dag)
+
+    print(
+        f"workflow {workflow.name} ({workflow.number_of_tasks} tasks) on "
+        f"cluster {cluster.name} ({cluster.num_processors} nodes), "
+        f"deadline {deadline} time units\n"
+    )
+    header = f"{'region':24s} " + " ".join(f"{name:>12s}" for name in VARIANTS) + "   saving"
+    print(header)
+    print("-" * len(header))
+
+    for region, kind in REGIONS.items():
+        trace = synthetic_daily_trace(kind, rng=7)
+        profile = profile_from_trace(
+            trace,
+            deadline,
+            idle_power=dag.platform.total_idle_power(),
+            work_power=dag.platform.total_work_power(),
+        )
+        instance = ProblemInstance(dag, profile, name=f"trace-{kind}")
+        results = run_all_variants(instance, variants=VARIANTS)
+        baseline = results["ASAP"].carbon_cost
+        best = min(r.carbon_cost for name, r in results.items() if name != "ASAP")
+        saving = (1 - best / baseline) if baseline else 0.0
+        costs = " ".join(f"{results[name].carbon_cost:12d}" for name in VARIANTS)
+        print(f"{region:24s} {costs}   {saving:6.0%}")
+
+    print(
+        "\nCarbon-aware shifting pays off in every region; how much of the "
+        "baseline's brown energy can be avoided depends on the shape of the "
+        "region's daily intensity profile and on how much of the horizon is "
+        "green enough to host the whole workflow."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Deadline / carbon trade-off study for a single workflow.
+
+A data-centre operator granting a workflow more slack (a later deadline) gives
+the carbon-aware scheduler more freedom to move tasks into green intervals.
+This example quantifies that trade-off: the same methylseq-like workflow is
+scheduled under deadlines of 1.0×, 1.25×, 1.5×, 2×, 3× and 4× the ASAP
+makespan, for two green-power scenarios, and the carbon cost of the best
+CaWoSched variant is reported relative to ASAP — reproducing, for a single
+workflow, the trend behind Figures 5 and 11 of the paper.
+
+Run with:  python examples/deadline_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ProblemInstance,
+    asap_makespan,
+    build_enhanced_dag,
+    generate_power_profile,
+    generate_workflow,
+    heft_mapping,
+    run_all_variants,
+    scaled_small_cluster,
+)
+
+DEADLINE_FACTORS = (1.0, 1.25, 1.5, 2.0, 3.0, 4.0)
+SCENARIOS = ("S1", "S3")
+VARIANTS = ["ASAP", "slackWR-LS", "pressWR-LS", "slackR-LS", "pressR-LS"]
+
+
+def main() -> None:
+    workflow = generate_workflow("methylseq", num_tasks=90, rng=13)
+    cluster = scaled_small_cluster()
+    heft = heft_mapping(workflow, cluster)
+    dag = build_enhanced_dag(heft.mapping, rng=13)
+    tight = asap_makespan(dag)
+
+    print(
+        f"workflow {workflow.name} ({workflow.number_of_tasks} tasks), "
+        f"ASAP makespan D = {tight} time units\n"
+    )
+    print(f"{'scenario':9s} {'deadline':>9s} {'ASAP':>10s} {'best CaWoSched':>15s} {'ratio':>7s}")
+    print("-" * 56)
+
+    for scenario in SCENARIOS:
+        for factor in DEADLINE_FACTORS:
+            deadline = int(round(factor * tight))
+            profile = generate_power_profile(
+                scenario,
+                deadline,
+                idle_power=dag.platform.total_idle_power(),
+                work_power=dag.platform.total_work_power(),
+                rng=13,
+            )
+            instance = ProblemInstance(dag, profile, name=f"{scenario}-x{factor}")
+            results = run_all_variants(instance, variants=VARIANTS)
+            baseline = results["ASAP"].carbon_cost
+            best = min(r.carbon_cost for name, r in results.items() if name != "ASAP")
+            ratio = best / baseline if baseline else 1.0
+            print(
+                f"{scenario:9s} {factor:8.2f}x {baseline:10d} {best:15d} {ratio:7.2f}"
+            )
+        print()
+
+    print(
+        "Loosening the deadline reduces the carbon cost of the carbon-aware "
+        "schedules monotonically (until everything fits into green intervals), "
+        "while ASAP is unaffected by the deadline."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,165 @@
+"""repro — a reproduction of CaWoSched (carbon-aware workflow scheduling).
+
+This package implements the complete system of the ICPP 2025 paper
+*"Carbon-Aware Workflow Scheduling with Fixed Mapping and Deadline
+Constraint"*: workflows, heterogeneous platforms, HEFT mappings, the
+communication-enhanced DAG, green-power profiles, the 16 CaWoSched heuristic
+variants, the ASAP baseline, the exact algorithms (single-processor dynamic
+program and ILP) and the experiment harness that regenerates every figure and
+table of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import (
+...     generate_workflow, scaled_small_cluster, heft_mapping,
+...     build_enhanced_dag, generate_power_profile, asap_makespan,
+...     ProblemInstance, run_variant,
+... )
+>>> workflow = generate_workflow("atacseq", 60, rng=1)
+>>> cluster = scaled_small_cluster()
+>>> mapping = heft_mapping(workflow, cluster).mapping
+>>> dag = build_enhanced_dag(mapping, rng=1)
+>>> deadline = 2 * asap_makespan(dag)
+>>> profile = generate_power_profile(
+...     "S1", deadline,
+...     idle_power=dag.platform.total_idle_power(),
+...     work_power=dag.platform.total_work_power(), rng=1)
+>>> instance = ProblemInstance(dag, profile)
+>>> result = run_variant(instance, "pressWR-LS")
+>>> result.carbon_cost <= run_variant(instance, "ASAP").carbon_cost
+True
+"""
+
+from repro.utils.errors import (
+    CaWoSchedError,
+    CyclicWorkflowError,
+    InfeasibleScheduleError,
+    InvalidMappingError,
+    InvalidProfileError,
+    InvalidScheduleError,
+    InvalidWorkflowError,
+    SolverError,
+)
+from repro.workflow import (
+    Task,
+    CommTask,
+    Workflow,
+    WORKFLOW_FAMILIES,
+    generate_workflow,
+    scale_workflow,
+    read_dot,
+    write_dot,
+    workflow_stats,
+)
+from repro.platform_ import (
+    Cluster,
+    ExtendedPlatform,
+    ProcessorSpec,
+    cluster_from_table1,
+    large_cluster,
+    scaled_large_cluster,
+    scaled_small_cluster,
+    single_processor_cluster,
+    small_cluster,
+    uniform_cluster,
+)
+from repro.mapping import (
+    EnhancedDAG,
+    HeftResult,
+    Mapping,
+    build_enhanced_dag,
+    heft_mapping,
+)
+from repro.carbon import (
+    CarbonIntensityTrace,
+    PowerProfile,
+    generate_power_profile,
+    generate_scenario_suite,
+    profile_from_trace,
+    synthetic_daily_trace,
+)
+from repro.schedule import (
+    ProblemInstance,
+    Schedule,
+    asap_makespan,
+    asap_schedule,
+    carbon_cost,
+    carbon_cost_per_time_unit,
+    check_schedule,
+    is_feasible,
+)
+from repro.core import (
+    CaWoSched,
+    ScheduleResult,
+    greedy_schedule,
+    local_search,
+    run_all_variants,
+    run_variant,
+    variant_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "CaWoSchedError",
+    "CyclicWorkflowError",
+    "InfeasibleScheduleError",
+    "InvalidMappingError",
+    "InvalidProfileError",
+    "InvalidScheduleError",
+    "InvalidWorkflowError",
+    "SolverError",
+    # workflow
+    "Task",
+    "CommTask",
+    "Workflow",
+    "WORKFLOW_FAMILIES",
+    "generate_workflow",
+    "scale_workflow",
+    "read_dot",
+    "write_dot",
+    "workflow_stats",
+    # platform
+    "Cluster",
+    "ExtendedPlatform",
+    "ProcessorSpec",
+    "cluster_from_table1",
+    "large_cluster",
+    "scaled_large_cluster",
+    "scaled_small_cluster",
+    "single_processor_cluster",
+    "small_cluster",
+    "uniform_cluster",
+    # mapping
+    "EnhancedDAG",
+    "HeftResult",
+    "Mapping",
+    "build_enhanced_dag",
+    "heft_mapping",
+    # carbon
+    "CarbonIntensityTrace",
+    "PowerProfile",
+    "generate_power_profile",
+    "generate_scenario_suite",
+    "profile_from_trace",
+    "synthetic_daily_trace",
+    # schedule
+    "ProblemInstance",
+    "Schedule",
+    "asap_makespan",
+    "asap_schedule",
+    "carbon_cost",
+    "carbon_cost_per_time_unit",
+    "check_schedule",
+    "is_feasible",
+    # core
+    "CaWoSched",
+    "ScheduleResult",
+    "greedy_schedule",
+    "local_search",
+    "run_all_variants",
+    "run_variant",
+    "variant_names",
+]

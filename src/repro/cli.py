@@ -1,0 +1,159 @@
+"""Command-line interface of the CaWoSched reproduction.
+
+Three subcommands cover the everyday uses of the library without writing any
+Python:
+
+* ``schedule`` — build one instance (workflow family, size, cluster, scenario,
+  deadline factor) and print the carbon cost of the requested algorithm
+  variants;
+* ``grid`` — run a small experiment grid and print the headline summaries
+  (rank-1 frequencies and median cost ratios vs ASAP);
+* ``variants`` — list the available algorithm variants.
+
+Invoke via ``python -m repro ...`` or the ``cawosched`` console script::
+
+    python -m repro schedule --family atacseq --tasks 60 --scenario S1 \\
+        --deadline-factor 2.0 --variants ASAP pressWR-LS
+    python -m repro grid --families atacseq eager --sizes 30 --seed 1
+    python -m repro variants
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.scheduler import CaWoSched
+from repro.core.variants import variant_names
+from repro.experiments.instances import (
+    DEFAULT_DEADLINE_FACTORS,
+    DEFAULT_SCENARIOS,
+    InstanceSpec,
+    default_grid,
+    make_instance,
+)
+from repro.experiments.metrics import median_cost_ratio, rank_distribution
+from repro.experiments.reporting import format_mapping, format_table
+from repro.experiments.runner import run_grid, run_instance
+from repro.workflow.generators import WORKFLOW_FAMILIES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="cawosched",
+        description="Carbon-aware workflow scheduling with fixed mapping and deadline "
+        "(CaWoSched reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    schedule = subparsers.add_parser(
+        "schedule", help="schedule one generated instance and print the carbon costs"
+    )
+    schedule.add_argument("--family", default="atacseq", choices=sorted(WORKFLOW_FAMILIES))
+    schedule.add_argument("--tasks", type=int, default=60, help="target workflow size")
+    schedule.add_argument("--cluster", default="small", choices=["small", "large", "single"])
+    schedule.add_argument("--scenario", default="S1", choices=sorted(DEFAULT_SCENARIOS))
+    schedule.add_argument("--deadline-factor", type=float, default=2.0)
+    schedule.add_argument("--seed", type=int, default=0)
+    schedule.add_argument(
+        "--variants", nargs="+", default=None,
+        help="algorithm variants to run (default: all 17)",
+    )
+    schedule.add_argument("--block-size", type=int, default=3, help="subdivision block size k")
+    schedule.add_argument("--window", type=int, default=10, help="local-search window µ")
+
+    grid = subparsers.add_parser(
+        "grid", help="run a small experiment grid and print summary figures"
+    )
+    grid.add_argument("--families", nargs="+", default=["atacseq", "eager"])
+    grid.add_argument("--sizes", nargs="+", type=int, default=[30])
+    grid.add_argument("--clusters", nargs="+", default=["small"])
+    grid.add_argument("--scenarios", nargs="+", default=list(DEFAULT_SCENARIOS))
+    grid.add_argument(
+        "--deadline-factors", nargs="+", type=float, default=list(DEFAULT_DEADLINE_FACTORS)
+    )
+    grid.add_argument("--seed", type=int, default=0)
+    grid.add_argument(
+        "--variants", nargs="+", default=None,
+        help="algorithm variants to run (default: ASAP + the eight -LS variants)",
+    )
+
+    subparsers.add_parser("variants", help="list the available algorithm variants")
+    return parser
+
+
+def _run_schedule(args: argparse.Namespace) -> int:
+    spec = InstanceSpec(
+        family=args.family,
+        num_tasks=args.tasks,
+        cluster=args.cluster,
+        scenario=args.scenario,
+        deadline_factor=args.deadline_factor,
+        seed=args.seed,
+    )
+    instance = make_instance(spec)
+    scheduler = CaWoSched(block_size=args.block_size, window=args.window)
+    names = args.variants if args.variants else variant_names()
+    records = run_instance(instance, variants=names, scheduler=scheduler)
+    print(f"instance {instance.name}: {instance.num_tasks} tasks, deadline {instance.deadline}")
+    rows = [
+        [record.variant, record.carbon_cost, record.makespan,
+         record.runtime_seconds * 1000.0]
+        for record in sorted(records, key=lambda r: r.carbon_cost)
+    ]
+    print(format_table(rows, ["variant", "carbon cost", "makespan", "runtime ms"]))
+    return 0
+
+
+def _run_grid(args: argparse.Namespace) -> int:
+    specs = default_grid(
+        families=args.families,
+        sizes=args.sizes,
+        clusters=args.clusters,
+        scenarios=args.scenarios,
+        deadline_factors=args.deadline_factors,
+        seed=args.seed,
+    )
+    names = args.variants if args.variants else variant_names(only_local_search=True)
+    print(f"running {len(specs)} instances × {len(names)} variants ...")
+    records = run_grid(specs, variants=names, master_seed=args.seed)
+
+    ranks = rank_distribution(records, variants=names)
+    rank_one = {name: ranks.get(name, {}).get(1, 0.0) for name in names}
+    print("\nfraction of instances ranked first (ties shared):")
+    print(format_mapping(rank_one, key_header="variant", value_header="rank-1 fraction",
+                         sort_by_value=False))
+
+    medians = median_cost_ratio(records, variants=[n for n in names if n != "ASAP"])
+    if medians:
+        print("\nmedian cost ratio vs ASAP:")
+        print(format_mapping(medians, key_header="variant", value_header="median ratio"))
+    return 0
+
+
+def _run_variants() -> int:
+    for name in variant_names():
+        print(name)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "schedule":
+        return _run_schedule(args)
+    if args.command == "grid":
+        return _run_grid(args)
+    if args.command == "variants":
+        return _run_variants()
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

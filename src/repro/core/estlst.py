@@ -1,0 +1,141 @@
+"""Earliest / latest start time tracking while a greedy schedule is built.
+
+The greedy CaWoSched variants fix one task at a time.  After every fixing, the
+earliest start times (EST) of downstream tasks and the latest start times
+(LST) of upstream tasks may tighten; the paper updates them over the whole
+graph using a precomputed topological order (§5.2, "These updates take
+``O(n + |Ec|)`` time").  :class:`EstLstTracker` provides exactly that: it
+recomputes the EST/LST arrays in one forward and one backward sweep per
+update, treating already-fixed tasks as pinned to their chosen start time.
+
+Fixing a task at a start time within its current ``[EST, LST]`` window always
+keeps the remaining problem feasible: the constraints form a system of
+difference constraints (only "start ≥ predecessor finish" lower bounds plus
+the deadline upper bound), for which the per-variable feasible projections are
+exactly the ``[EST, LST]`` intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.mapping.enhanced_dag import EnhancedDAG
+from repro.utils.errors import InfeasibleScheduleError
+
+__all__ = ["EstLstTracker"]
+
+
+class EstLstTracker:
+    """EST/LST bookkeeping over a communication-enhanced DAG.
+
+    Parameters
+    ----------
+    dag:
+        The communication-enhanced DAG.
+    deadline:
+        The deadline ``T``.
+
+    Raises
+    ------
+    InfeasibleScheduleError
+        If the deadline cannot be met even without fixing any task.
+    """
+
+    def __init__(self, dag: EnhancedDAG, deadline: int) -> None:
+        self._dag = dag
+        self._deadline = int(deadline)
+        self._order = dag.topological_order()
+        self._fixed: Dict[Hashable, int] = {}
+        self._est: Dict[Hashable, int] = {}
+        self._lst: Dict[Hashable, int] = {}
+        self._recompute()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def deadline(self) -> int:
+        """The deadline ``T``."""
+        return self._deadline
+
+    def est(self, node: Hashable) -> int:
+        """Return the current earliest start time of *node*."""
+        return self._est[node]
+
+    def lst(self, node: Hashable) -> int:
+        """Return the current latest start time of *node*."""
+        return self._lst[node]
+
+    def slack(self, node: Hashable) -> int:
+        """Return the current slack ``LST − EST`` of *node*."""
+        return self._lst[node] - self._est[node]
+
+    def est_map(self) -> Dict[Hashable, int]:
+        """Return a copy of the current EST values."""
+        return dict(self._est)
+
+    def lst_map(self) -> Dict[Hashable, int]:
+        """Return a copy of the current LST values."""
+        return dict(self._lst)
+
+    def is_fixed(self, node: Hashable) -> bool:
+        """Return whether *node* already has a fixed start time."""
+        return node in self._fixed
+
+    def fixed_start(self, node: Hashable) -> Optional[int]:
+        """Return the fixed start time of *node*, or ``None``."""
+        return self._fixed.get(node)
+
+    def fixed_starts(self) -> Dict[Hashable, int]:
+        """Return a copy of all fixed start times."""
+        return dict(self._fixed)
+
+    # ------------------------------------------------------------------ #
+    def fix(self, node: Hashable, start: int) -> None:
+        """Fix *node* to start at *start* and propagate the EST/LST updates.
+
+        Raises
+        ------
+        InfeasibleScheduleError
+            If the start time lies outside the node's current
+            ``[EST, LST]`` window (which would make the rest infeasible).
+        """
+        start = int(start)
+        if node in self._fixed:
+            raise InfeasibleScheduleError(f"task {node!r} is already fixed")
+        if not self._est[node] <= start <= self._lst[node]:
+            raise InfeasibleScheduleError(
+                f"cannot fix task {node!r} at {start}: outside its window "
+                f"[{self._est[node]}, {self._lst[node]}]"
+            )
+        self._fixed[node] = start
+        self._recompute()
+
+    # ------------------------------------------------------------------ #
+    def _recompute(self) -> None:
+        """Recompute EST and LST with the fixed tasks pinned (two sweeps)."""
+        dag = self._dag
+        est: Dict[Hashable, int] = {}
+        for node in self._order:
+            if node in self._fixed:
+                est[node] = self._fixed[node]
+                continue
+            est[node] = max(
+                (est[pred] + dag.duration(pred) for pred in dag.predecessors(node)),
+                default=0,
+            )
+        lst: Dict[Hashable, int] = {}
+        for node in reversed(self._order):
+            if node in self._fixed:
+                lst[node] = self._fixed[node]
+                continue
+            successors = dag.successors(node)
+            if not successors:
+                lst[node] = self._deadline - dag.duration(node)
+            else:
+                lst[node] = min(lst[succ] for succ in successors) - dag.duration(node)
+            if lst[node] < est[node]:
+                raise InfeasibleScheduleError(
+                    f"task {node!r} has an empty scheduling window "
+                    f"[{est[node]}, {lst[node]}] for deadline {self._deadline}"
+                )
+        self._est = est
+        self._lst = lst

@@ -1,0 +1,193 @@
+"""The greedy phase of CaWoSched.
+
+Tasks are processed in the order induced by their score (slack or pressure,
+optionally power-weighted).  Each task is started at the beginning of the
+remaining-budget interval with the highest green budget among the intervals
+whose start lies in the task's current ``[EST, LST]`` window (ties are broken
+towards the earliest interval); if no interval start is available the task
+simply starts at its EST.  After a task has been placed, the budgets of the
+intervals it overlaps are decreased by the task's processor power (idle +
+working), the overlapped boundary intervals are split, and the EST/LST of all
+unscheduled tasks are updated (§5.2 of the paper).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.carbon.intervals import PowerProfile
+from repro.core.estlst import EstLstTracker
+from repro.core.scores import SCORE_PRESSURE, SCORE_SLACK, compute_scores, task_order
+from repro.core.subdivision import (
+    DEFAULT_BLOCK_SIZE,
+    original_subdivision,
+    refined_subdivision,
+)
+from repro.schedule.instance import ProblemInstance
+from repro.schedule.schedule import Schedule
+from repro.utils.errors import CaWoSchedError
+
+__all__ = ["BudgetIntervals", "greedy_schedule"]
+
+
+class BudgetIntervals:
+    """Mutable view of the green budget over a subdivision of the horizon.
+
+    The intervals are kept as three parallel lists (begins, ends, budgets),
+    always sorted and contiguous over ``[0, T)``.  Placing a task splits the
+    partially covered first/last intervals and decreases the budget of every
+    interval the task overlaps.
+    """
+
+    def __init__(self, profile: PowerProfile, subdivision_points: Sequence[int]) -> None:
+        points = sorted(set(subdivision_points) | {iv.begin for iv in profile.intervals()})
+        if not points or points[0] != 0:
+            points = [0] + [p for p in points if p != 0]
+        points = [p for p in points if 0 <= p < profile.horizon]
+        boundaries = points + [profile.horizon]
+        self._begins: List[int] = []
+        self._ends: List[int] = []
+        self._budgets: List[int] = []
+        for begin, end in zip(boundaries, boundaries[1:]):
+            if end <= begin:
+                continue
+            self._begins.append(begin)
+            self._ends.append(end)
+            self._budgets.append(profile.budget_at(begin))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_intervals(self) -> int:
+        """Current number of intervals."""
+        return len(self._begins)
+
+    def intervals(self) -> List[Tuple[int, int, int]]:
+        """Return the current (begin, end, budget) triples."""
+        return list(zip(self._begins, self._ends, self._budgets))
+
+    def start_points(self) -> List[int]:
+        """Return the current interval start points."""
+        return list(self._begins)
+
+    def best_start(self, earliest: int, latest: int) -> Optional[int]:
+        """Return the best interval start within ``[earliest, latest]``.
+
+        "Best" means the interval with the highest remaining budget; ties are
+        broken towards the earliest start point.  Returns ``None`` when no
+        interval starts inside the window.
+        """
+        best_budget: Optional[int] = None
+        best_begin: Optional[int] = None
+        lo = bisect.bisect_left(self._begins, earliest)
+        for index in range(lo, len(self._begins)):
+            begin = self._begins[index]
+            if begin > latest:
+                break
+            budget = self._budgets[index]
+            if best_budget is None or budget > best_budget:
+                best_budget = budget
+                best_begin = begin
+        return best_begin
+
+    def split_at(self, time: int) -> None:
+        """Split the interval containing *time* so that *time* becomes a boundary."""
+        if time <= 0 or time >= self._ends[-1]:
+            return
+        index = bisect.bisect_right(self._begins, time) - 1
+        if self._begins[index] == time:
+            return
+        begin, end, budget = self._begins[index], self._ends[index], self._budgets[index]
+        # Shrink the existing interval and insert the right part after it.
+        self._ends[index] = time
+        self._begins.insert(index + 1, time)
+        self._ends.insert(index + 1, end)
+        self._budgets.insert(index + 1, budget)
+
+    def consume(self, begin: int, end: int, power: int) -> None:
+        """Decrease the budget by *power* over the window ``[begin, end)``.
+
+        The window is clipped to the horizon; boundary intervals are split so
+        that the decrement applies exactly to the window.  Budgets may become
+        negative, which simply marks heavily loaded intervals as unattractive
+        for subsequent tasks.
+        """
+        horizon = self._ends[-1]
+        begin = max(0, int(begin))
+        end = min(horizon, int(end))
+        if end <= begin:
+            return
+        self.split_at(begin)
+        self.split_at(end)
+        index = bisect.bisect_right(self._begins, begin) - 1
+        while index < len(self._begins) and self._begins[index] < end:
+            self._budgets[index] -= power
+            index += 1
+
+
+def greedy_schedule(
+    instance: ProblemInstance,
+    *,
+    base: str,
+    weighted: bool = False,
+    refined: bool = False,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    algorithm_name: Optional[str] = None,
+) -> Schedule:
+    """Run the greedy CaWoSched phase on *instance*.
+
+    Parameters
+    ----------
+    instance:
+        The problem instance.
+    base:
+        Base score: ``"slack"`` or ``"pressure"``.
+    weighted:
+        Whether to weight the score by the processor power factor.
+    refined:
+        Whether to use the refined interval subdivision (block alignments).
+    block_size:
+        Maximum block size of the refined subdivision (the paper's ``k``).
+    algorithm_name:
+        Optional label stored on the returned schedule.
+
+    Returns
+    -------
+    Schedule
+        A feasible schedule of all tasks (the caller may refine it further
+        with the local search).
+    """
+    if base not in (SCORE_SLACK, SCORE_PRESSURE):
+        raise CaWoSchedError(f"unknown base score {base!r}")
+    dag = instance.dag
+    tracker = EstLstTracker(dag, instance.deadline)
+
+    scores = compute_scores(
+        dag, tracker.est_map(), tracker.lst_map(), base=base, weighted=weighted
+    )
+    order = task_order(dag, scores, base=base)
+
+    if refined:
+        points = refined_subdivision(instance, block_size=block_size)
+    else:
+        points = original_subdivision(instance.profile)
+    budgets = BudgetIntervals(instance.profile, points)
+
+    for node in order:
+        earliest = tracker.est(node)
+        latest = tracker.lst(node)
+        start = budgets.best_start(earliest, latest)
+        if start is None:
+            start = earliest
+        tracker.fix(node, start)
+        budgets.consume(start, start + dag.duration(node), instance.active_power_of(node))
+
+    name = algorithm_name or _default_name(base, weighted, refined)
+    return Schedule(instance, tracker.fixed_starts(), algorithm=name)
+
+
+def _default_name(base: str, weighted: bool, refined: bool) -> str:
+    """Return the paper's variant name for a greedy configuration."""
+    prefix = "slack" if base == SCORE_SLACK else "press"
+    return prefix + ("W" if weighted else "") + ("R" if refined else "")

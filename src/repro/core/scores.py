@@ -1,0 +1,132 @@
+"""Task scores of the greedy CaWoSched variants.
+
+Four scores are defined in §5.2 of the paper; each induces the order in which
+the greedy algorithm picks tasks:
+
+* **slack** — ``s(v) = LST(v) − EST(v)``; tasks are processed in
+  *non-decreasing* slack order (tight tasks first).
+* **pressure** — ``ρ(v) = ω(v) / (s(v) + ω(v)) ∈ [0, 1]``; tasks are processed
+  in *non-increasing* pressure order (a pressure of 1 means no flexibility).
+* **weighted slack / weighted pressure** — the same scores multiplied by a
+  factor reflecting the power draw of the processor the task is mapped to:
+  ``wf(i) = (P_idle^i + P_work^i) / max_j (P_idle^j + P_work^j)``.
+  Pressure is multiplied by ``wf`` and slack by its reciprocal, so that in
+  both cases tasks on power-hungry processors move towards the front of the
+  order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from repro.mapping.enhanced_dag import EnhancedDAG
+from repro.utils.errors import CaWoSchedError
+
+__all__ = [
+    "SCORE_SLACK",
+    "SCORE_PRESSURE",
+    "weight_factors",
+    "slack_scores",
+    "pressure_scores",
+    "compute_scores",
+    "task_order",
+]
+
+#: Base score identifiers.
+SCORE_SLACK = "slack"
+SCORE_PRESSURE = "pressure"
+
+
+def weight_factors(dag: EnhancedDAG) -> Dict[Hashable, float]:
+    """Return the weighting factor ``wf`` of every node of *dag*.
+
+    The factor of a node is the total (idle + working) power of its processor
+    divided by the maximum total power over all processors of the extended
+    platform, hence lies in ``(0, 1]``.
+    """
+    max_power = max(spec.total_power for spec in dag.platform.processors())
+    if max_power <= 0:
+        # Degenerate platform (all powers zero): weighting has no effect.
+        return {node: 1.0 for node in dag.nodes()}
+    return {
+        node: dag.processor_spec(node).total_power / max_power for node in dag.nodes()
+    }
+
+
+def slack_scores(
+    dag: EnhancedDAG,
+    est: Dict[Hashable, int],
+    lst: Dict[Hashable, int],
+    *,
+    weighted: bool = False,
+) -> Dict[Hashable, float]:
+    """Return the (optionally weighted) slack score of every node."""
+    factors = weight_factors(dag) if weighted else None
+    scores: Dict[Hashable, float] = {}
+    for node in dag.nodes():
+        slack = float(lst[node] - est[node])
+        if weighted:
+            factor = factors[node]
+            # Reciprocal weighting: power-hungry processors (factor close to 1)
+            # keep their slack, light processors get their slack inflated and
+            # therefore move towards the back of the non-decreasing order.
+            slack = slack / factor if factor > 0 else slack
+        scores[node] = slack
+    return scores
+
+
+def pressure_scores(
+    dag: EnhancedDAG,
+    est: Dict[Hashable, int],
+    lst: Dict[Hashable, int],
+    *,
+    weighted: bool = False,
+) -> Dict[Hashable, float]:
+    """Return the (optionally weighted) pressure score of every node."""
+    factors = weight_factors(dag) if weighted else None
+    scores: Dict[Hashable, float] = {}
+    for node in dag.nodes():
+        duration = dag.duration(node)
+        slack = lst[node] - est[node]
+        pressure = duration / (slack + duration)
+        if weighted:
+            pressure *= factors[node]
+        scores[node] = float(pressure)
+    return scores
+
+
+def compute_scores(
+    dag: EnhancedDAG,
+    est: Dict[Hashable, int],
+    lst: Dict[Hashable, int],
+    *,
+    base: str,
+    weighted: bool = False,
+) -> Dict[Hashable, float]:
+    """Return the scores for the given *base* (``"slack"`` or ``"pressure"``)."""
+    if base == SCORE_SLACK:
+        return slack_scores(dag, est, lst, weighted=weighted)
+    if base == SCORE_PRESSURE:
+        return pressure_scores(dag, est, lst, weighted=weighted)
+    raise CaWoSchedError(f"unknown base score {base!r}")
+
+
+def task_order(
+    dag: EnhancedDAG,
+    scores: Dict[Hashable, float],
+    *,
+    base: str,
+) -> List[Hashable]:
+    """Return the greedy processing order induced by *scores*.
+
+    Slack-based variants sort by non-decreasing score, pressure-based variants
+    by non-increasing score.  Ties are broken deterministically by the
+    topological position of the task, so equal-score tasks are handled in
+    precedence order.
+    """
+    position = {node: index for index, node in enumerate(dag.topological_order())}
+    if base == SCORE_SLACK:
+        return sorted(dag.nodes(), key=lambda node: (scores[node], position[node]))
+    if base == SCORE_PRESSURE:
+        return sorted(dag.nodes(), key=lambda node: (-scores[node], position[node]))
+    raise CaWoSchedError(f"unknown base score {base!r}")

@@ -1,0 +1,98 @@
+"""Interval subdivision used by the refined greedy variants.
+
+The greedy algorithm only ever starts tasks at the beginning of an interval.
+With the *original* subdivision those candidate points are the boundaries of
+the green-power profile.  The *refined* subdivision (variants with the ``R``
+suffix) adds candidate points motivated by the single-processor optimality
+result (Lemma 4.2): on each processor, every block of at most ``k``
+consecutive tasks is tentatively aligned so that it starts or ends at one of
+the original interval boundaries, and the start times of the block's tasks
+under those alignments become additional subdivision points (§5.2 of the
+paper, default ``k = 3``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence, Set
+
+from repro.carbon.intervals import PowerProfile
+from repro.schedule.instance import ProblemInstance
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "original_subdivision",
+    "refined_subdivision",
+    "block_alignment_points",
+    "DEFAULT_BLOCK_SIZE",
+]
+
+#: Default maximum block size of the refined subdivision (the paper's k).
+DEFAULT_BLOCK_SIZE = 3
+
+
+def original_subdivision(profile: PowerProfile) -> List[int]:
+    """Return the start points of the original profile intervals."""
+    return [interval.begin for interval in profile.intervals()]
+
+
+def block_alignment_points(
+    instance: ProblemInstance,
+    *,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> Set[int]:
+    """Return the candidate task start times induced by block alignments.
+
+    For every processor of the extended platform and every window of at most
+    *block_size* consecutive tasks in that processor's fixed order, the block
+    is tentatively placed so that it starts or ends at each original interval
+    boundary; the implied start times of the tasks inside the block (clipped
+    to the horizon) are collected.
+    """
+    block_size = check_positive_int(block_size, "block_size")
+    dag = instance.dag
+    profile = instance.profile
+    horizon = profile.horizon
+    boundaries = profile.boundaries()
+
+    points: Set[int] = set()
+    for processor in dag.processors_with_tasks():
+        tasks = dag.tasks_on(processor)
+        durations = [dag.duration(task) for task in tasks]
+        num_tasks = len(tasks)
+        for begin_index in range(num_tasks):
+            block_duration = 0
+            # Prefix sums of durations within the block, so that the start of
+            # the r-th task of the block is block_start + offsets[r].
+            offsets: List[int] = []
+            for end_index in range(begin_index, min(begin_index + block_size, num_tasks)):
+                offsets.append(block_duration)
+                block_duration += durations[end_index]
+                for boundary in boundaries:
+                    # Alignment 1: the block starts at the boundary.
+                    start_aligned = boundary
+                    # Alignment 2: the block ends at the boundary.
+                    end_aligned = boundary - block_duration
+                    for block_start in (start_aligned, end_aligned):
+                        if block_start < 0:
+                            continue
+                        for offset in offsets:
+                            candidate = block_start + offset
+                            if 0 <= candidate < horizon:
+                                points.add(candidate)
+    return points
+
+
+def refined_subdivision(
+    instance: ProblemInstance,
+    *,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> List[int]:
+    """Return the refined interval start points (sorted, deduplicated).
+
+    The result always contains the original interval boundaries; the refined
+    variants of the greedy algorithm use these points both as candidate task
+    start times and as boundaries of the budget bookkeeping.
+    """
+    points = set(original_subdivision(instance.profile))
+    points |= block_alignment_points(instance, block_size=block_size)
+    return sorted(points)

@@ -1,0 +1,337 @@
+"""Per-figure/table generators reproducing the paper's evaluation artefacts.
+
+Every public function of this module computes the numeric content behind one
+figure or table of the paper from a list of :class:`RunRecord` objects (or,
+for the ILP comparison and the local-search ablation, from instance specs it
+runs itself).  The benchmark harness in ``benchmarks/`` calls these functions
+and prints the resulting rows; ``EXPERIMENTS.md`` records the measured values
+next to the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.greedy import greedy_schedule
+from repro.core.local_search import local_search
+from repro.core.scheduler import CaWoSched
+from repro.core.variants import BASELINE, LS_VARIANTS, get_variant, variant_names
+from repro.exact.ilp import ilp_optimal
+from repro.experiments.instances import InstanceSpec, make_instance, single_processor_instance
+from repro.experiments.metrics import (
+    DEFAULT_TAU_GRID,
+    BoxplotStats,
+    cost_ratio_boxplots,
+    cost_ratios_to_baseline,
+    group_records,
+    median_cost_ratio,
+    performance_profile,
+    rank_distribution,
+    runtime_statistics,
+    size_class_of,
+)
+from repro.experiments.runner import RunRecord, run_instance
+from repro.exact.dp_single import dp_single_processor
+from repro.platform_.presets import table1_rows
+from repro.schedule.cost import carbon_cost
+from repro.utils.rng import RNGLike
+
+__all__ = [
+    "table1_platform",
+    "figure1_rank_distribution",
+    "figure2_performance_profiles",
+    "figure3_profiles_by_deadline",
+    "figure4_median_cost_ratio",
+    "figure5_cost_ratio_by_deadline",
+    "figure6_cost_ratio_boxplot",
+    "figure7_ilp_comparison",
+    "figure8_running_times",
+    "figure12_runtime_by_size",
+    "figure13_runtime_by_deadline",
+    "figure14_cost_ratio_by_cluster",
+    "figure15_cost_ratio_by_scenario",
+    "figure16_cost_ratio_by_size",
+    "figure17_profiles_by_cluster",
+    "table2_local_search_ablation",
+    "dp_single_processor_comparison",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Table 1
+# --------------------------------------------------------------------------- #
+def table1_platform() -> List[Dict[str, object]]:
+    """Return Table 1 (processor specifications) verbatim."""
+    return table1_rows()
+
+
+# --------------------------------------------------------------------------- #
+# Figures 1–6, 8, 12–17: derived from a grid of run records
+# --------------------------------------------------------------------------- #
+def _main_variants() -> List[str]:
+    """The variant set of the paper's main comparison: ASAP + the 8 LS variants."""
+    return [BASELINE] + list(LS_VARIANTS)
+
+
+def figure1_rank_distribution(records: Iterable[RunRecord]) -> Dict[str, Dict[int, float]]:
+    """Figure 1: how often each LS variant (and ASAP) reaches each rank."""
+    return rank_distribution(list(records), variants=_main_variants())
+
+
+def figure2_performance_profiles(
+    records: Iterable[RunRecord],
+    *,
+    taus: Sequence[float] = DEFAULT_TAU_GRID,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Figure 2: performance profiles of ASAP and the 8 LS variants."""
+    return performance_profile(list(records), variants=_main_variants(), taus=taus)
+
+
+def figure3_profiles_by_deadline(
+    records: Iterable[RunRecord],
+    *,
+    taus: Sequence[float] = DEFAULT_TAU_GRID,
+) -> Dict[float, Dict[str, List[Tuple[float, float]]]]:
+    """Figures 3 and 10: performance profiles split by deadline factor."""
+    grouped = group_records(list(records), key=lambda record: record.deadline_factor)
+    return {
+        factor: performance_profile(group, variants=_main_variants(), taus=taus)
+        for factor, group in sorted(grouped.items())
+    }
+
+
+def figure4_median_cost_ratio(records: Iterable[RunRecord]) -> Dict[str, float]:
+    """Figure 4: median cost ratio (variant / ASAP) of the 8 LS variants."""
+    return median_cost_ratio(list(records), variants=LS_VARIANTS)
+
+
+def figure5_cost_ratio_by_deadline(
+    records: Iterable[RunRecord],
+) -> Dict[float, Dict[str, float]]:
+    """Figures 5 and 11: median cost ratio split by deadline factor."""
+    grouped = group_records(list(records), key=lambda record: record.deadline_factor)
+    return {
+        factor: median_cost_ratio(group, variants=LS_VARIANTS)
+        for factor, group in sorted(grouped.items())
+    }
+
+
+def figure6_cost_ratio_boxplot(records: Iterable[RunRecord]) -> Dict[str, BoxplotStats]:
+    """Figure 6: boxplots of the cost ratios (variant / ASAP)."""
+    return cost_ratio_boxplots(list(records), variants=LS_VARIANTS)
+
+
+def figure8_running_times(records: Iterable[RunRecord]) -> Dict[str, Dict[str, float]]:
+    """Figure 8: running-time statistics per algorithm variant."""
+    return runtime_statistics(list(records))
+
+
+def figure12_runtime_by_size(
+    records: Iterable[RunRecord],
+    *,
+    boundaries: Sequence[int] = (60, 150),
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Figure 12: running times split by workflow size class."""
+    grouped = group_records(
+        list(records), key=lambda record: size_class_of(record, boundaries=boundaries)
+    )
+    return {
+        size_class: runtime_statistics(group)
+        for size_class, group in sorted(grouped.items())
+    }
+
+
+def figure13_runtime_by_deadline(
+    records: Iterable[RunRecord],
+) -> Dict[float, Dict[str, Dict[str, float]]]:
+    """Figure 13: running times split by deadline factor."""
+    grouped = group_records(list(records), key=lambda record: record.deadline_factor)
+    return {
+        factor: runtime_statistics(group) for factor, group in sorted(grouped.items())
+    }
+
+
+def figure14_cost_ratio_by_cluster(
+    records: Iterable[RunRecord],
+) -> Dict[str, Dict[str, float]]:
+    """Figure 14: median cost ratio split by cluster (small / large)."""
+    grouped = group_records(list(records), key=lambda record: record.cluster)
+    return {
+        cluster: median_cost_ratio(group, variants=LS_VARIANTS)
+        for cluster, group in sorted(grouped.items())
+    }
+
+
+def figure15_cost_ratio_by_scenario(
+    records: Iterable[RunRecord],
+) -> Dict[str, Dict[str, float]]:
+    """Figure 15: median cost ratio split by power-profile scenario (S1–S4)."""
+    grouped = group_records(list(records), key=lambda record: record.scenario)
+    return {
+        scenario: median_cost_ratio(group, variants=LS_VARIANTS)
+        for scenario, group in sorted(grouped.items())
+    }
+
+
+def figure16_cost_ratio_by_size(
+    records: Iterable[RunRecord],
+    *,
+    boundaries: Sequence[int] = (60, 150),
+) -> Dict[str, Dict[str, float]]:
+    """Figure 16: median cost ratio split by workflow size class."""
+    grouped = group_records(
+        list(records), key=lambda record: size_class_of(record, boundaries=boundaries)
+    )
+    return {
+        size_class: median_cost_ratio(group, variants=LS_VARIANTS)
+        for size_class, group in sorted(grouped.items())
+    }
+
+
+def figure17_profiles_by_cluster(
+    records: Iterable[RunRecord],
+    *,
+    taus: Sequence[float] = DEFAULT_TAU_GRID,
+) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
+    """Figure 17: performance profiles split by cluster size."""
+    grouped = group_records(list(records), key=lambda record: record.cluster)
+    return {
+        cluster: performance_profile(group, variants=_main_variants(), taus=taus)
+        for cluster, group in sorted(grouped.items())
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figure 7: comparison against the ILP optimum
+# --------------------------------------------------------------------------- #
+def figure7_ilp_comparison(
+    specs: Sequence[InstanceSpec],
+    *,
+    variants: Optional[Sequence[str]] = None,
+    master_seed: RNGLike = None,
+    scheduler: Optional[CaWoSched] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Figure 7: cost ratio ``ILP optimum / heuristic cost`` on small instances.
+
+    Returns, per variant, the individual ratios and their median (the paper's
+    red dots and boxplot).  A ratio of 1 means the heuristic found an optimal
+    solution; when both costs are 0 the ratio is 1 by convention.
+    """
+    scheduler = scheduler or CaWoSched()
+    names = list(variants) if variants is not None else _main_variants()
+    ratios: Dict[str, List[float]] = {name: [] for name in names}
+    optima: List[int] = []
+    for spec in specs:
+        instance = make_instance(spec, master_seed=master_seed)
+        optimal = carbon_cost(ilp_optimal(instance))
+        optima.append(optimal)
+        for record in run_instance(instance, variants=names, scheduler=scheduler):
+            if record.carbon_cost == 0:
+                ratio = 1.0
+            elif optimal == 0:
+                ratio = 0.0
+            else:
+                ratio = optimal / record.carbon_cost
+            ratios[record.variant].append(ratio)
+    summary: Dict[str, Dict[str, object]] = {}
+    for name in names:
+        values = np.asarray(ratios[name], dtype=float)
+        summary[name] = {
+            "ratios": [float(v) for v in values],
+            "median": float(np.median(values)) if values.size else float("nan"),
+            "mean": float(values.mean()) if values.size else float("nan"),
+            "optimal_hits": int(np.sum(values >= 1.0 - 1e-9)),
+            "instances": int(values.size),
+        }
+    summary["_optima"] = {"values": optima}
+    return summary
+
+
+# --------------------------------------------------------------------------- #
+# Table 2: local-search ablation
+# --------------------------------------------------------------------------- #
+def table2_local_search_ablation(
+    specs: Sequence[InstanceSpec],
+    *,
+    variants: Sequence[str] = ("slackR", "slackWR", "pressR", "pressWR"),
+    master_seed: RNGLike = None,
+    window: int = 10,
+) -> Dict[str, Dict[str, float]]:
+    """Table 2: cost ratio (with LS / without LS) per greedy variant.
+
+    The paper runs the ablation on the atacseq and bacass subsets and reports
+    the minimum, maximum and arithmetic mean of the ratio over the instances;
+    a ratio of 0 means the local search reached zero carbon cost while the
+    greedy schedule alone had positive cost.
+    """
+    results: Dict[str, List[float]] = {name: [] for name in variants}
+    for spec in specs:
+        instance = make_instance(spec, master_seed=master_seed)
+        for name in variants:
+            variant = get_variant(name)
+            base_schedule = greedy_schedule(
+                instance,
+                base=variant.base,
+                weighted=variant.weighted,
+                refined=variant.refined,
+            )
+            improved = local_search(base_schedule, window=window)
+            base_cost = carbon_cost(base_schedule)
+            improved_cost = carbon_cost(improved)
+            if base_cost == 0:
+                ratio = 1.0 if improved_cost == 0 else float("inf")
+            else:
+                ratio = improved_cost / base_cost
+            results[name].append(ratio)
+    table: Dict[str, Dict[str, float]] = {}
+    for name, values in results.items():
+        array = np.asarray(values, dtype=float)
+        table[name] = {
+            "min": float(array.min()) if array.size else float("nan"),
+            "max": float(array.max()) if array.size else float("nan"),
+            "avg": float(array.mean()) if array.size else float("nan"),
+            "instances": int(array.size),
+        }
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Single-processor DP comparison (§4.1 / sanity experiment)
+# --------------------------------------------------------------------------- #
+def dp_single_processor_comparison(
+    *,
+    sizes: Sequence[int] = (4, 6, 8),
+    scenarios: Sequence[str] = ("S1", "S3"),
+    deadline_factor: float = 2.0,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Compare the DP optimum against the heuristics on single-processor chains.
+
+    Returns one row per (size, scenario) with the DP cost and the best
+    heuristic cost; the heuristics can never beat the DP.
+    """
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        for scenario in scenarios:
+            instance = single_processor_instance(
+                size, scenario=scenario, deadline_factor=deadline_factor, seed=seed
+            )
+            optimal = carbon_cost(dp_single_processor(instance))
+            records = run_instance(instance, variants=_main_variants())
+            best = min(record.carbon_cost for record in records)
+            asap_cost = next(
+                record.carbon_cost for record in records if record.variant == BASELINE
+            )
+            rows.append(
+                {
+                    "tasks": size,
+                    "scenario": scenario,
+                    "dp_optimal": optimal,
+                    "best_heuristic": best,
+                    "asap": asap_cost,
+                }
+            )
+    return rows

@@ -1,0 +1,137 @@
+"""Run algorithm variants over instance grids and collect flat records.
+
+The runner is deliberately simple: it materialises each instance of a grid,
+runs the requested algorithm variants on it, and emits one
+:class:`RunRecord` per (instance, variant) pair.  All downstream analysis
+(ranks, performance profiles, cost ratios, runtimes — see
+:mod:`repro.experiments.metrics`) operates on lists of these records, which
+keeps the figure generators independent from how the runs were produced.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.scheduler import CaWoSched
+from repro.core.variants import variant_names
+from repro.experiments.instances import InstanceSpec, make_instance
+from repro.schedule.instance import ProblemInstance
+from repro.utils.rng import RNGLike
+
+__all__ = ["RunRecord", "run_instance", "run_grid", "records_by_instance"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One algorithm run on one instance.
+
+    The metadata of the instance (family, cluster, scenario, deadline factor,
+    size) is denormalised into the record so that grouping and filtering never
+    need the instance object again.
+    """
+
+    instance: str
+    variant: str
+    carbon_cost: int
+    runtime_seconds: float
+    makespan: int
+    deadline: int
+    num_tasks: int
+    family: str = ""
+    cluster: str = ""
+    scenario: str = ""
+    deadline_factor: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return the record as a plain dictionary (CSV/JSON friendly)."""
+        return {
+            "instance": self.instance,
+            "variant": self.variant,
+            "carbon_cost": self.carbon_cost,
+            "runtime_seconds": self.runtime_seconds,
+            "makespan": self.makespan,
+            "deadline": self.deadline,
+            "num_tasks": self.num_tasks,
+            "family": self.family,
+            "cluster": self.cluster,
+            "scenario": self.scenario,
+            "deadline_factor": self.deadline_factor,
+        }
+
+
+def run_instance(
+    instance: ProblemInstance,
+    *,
+    variants: Optional[Sequence[str]] = None,
+    scheduler: Optional[CaWoSched] = None,
+) -> List[RunRecord]:
+    """Run *variants* (default: all) on a single instance."""
+    scheduler = scheduler or CaWoSched()
+    names = list(variants) if variants is not None else variant_names()
+    records: List[RunRecord] = []
+    meta = instance.metadata
+    for name in names:
+        result = scheduler.run(instance, name)
+        records.append(
+            RunRecord(
+                instance=instance.name,
+                variant=name,
+                carbon_cost=result.carbon_cost,
+                runtime_seconds=result.runtime_seconds,
+                makespan=result.makespan,
+                deadline=instance.deadline,
+                num_tasks=instance.num_tasks,
+                family=str(meta.get("family", meta.get("workflow", ""))),
+                cluster=str(meta.get("cluster", "")),
+                scenario=str(meta.get("scenario", "")),
+                deadline_factor=float(meta.get("deadline_factor", 0.0)),
+            )
+        )
+    return records
+
+
+def run_grid(
+    specs: Iterable[InstanceSpec],
+    *,
+    variants: Optional[Sequence[str]] = None,
+    scheduler: Optional[CaWoSched] = None,
+    master_seed: RNGLike = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[RunRecord]:
+    """Run *variants* on every instance of the grid.
+
+    Parameters
+    ----------
+    specs:
+        Grid cells (see :func:`repro.experiments.instances.default_grid`).
+    variants:
+        Algorithm variant names; defaults to all 17 (ASAP + 16 heuristics).
+    scheduler:
+        Scheduler configuration (block size ``k``, window ``µ``).
+    master_seed:
+        Master seed combined with each cell's coordinates.
+    progress:
+        Optional callback receiving a short message per completed instance.
+    """
+    scheduler = scheduler or CaWoSched()
+    records: List[RunRecord] = []
+    for spec in specs:
+        instance = make_instance(spec, master_seed=master_seed)
+        started = time.perf_counter()
+        records.extend(
+            run_instance(instance, variants=variants, scheduler=scheduler)
+        )
+        if progress is not None:
+            elapsed = time.perf_counter() - started
+            progress(f"{spec.label}: {elapsed:.2f}s")
+    return records
+
+
+def records_by_instance(records: Iterable[RunRecord]) -> Dict[str, List[RunRecord]]:
+    """Group records by instance name (preserving per-instance order)."""
+    grouped: Dict[str, List[RunRecord]] = {}
+    for record in records:
+        grouped.setdefault(record.instance, []).append(record)
+    return grouped

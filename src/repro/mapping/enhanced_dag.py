@@ -1,0 +1,252 @@
+"""Construction of the communication-enhanced DAG ``Gc``.
+
+Given a workflow, a cluster and a fixed :class:`~repro.mapping.mapping.Mapping`,
+the communication-enhanced DAG replaces every cross-processor edge by a
+*communication task* executed on a fictional link processor (§3 of the paper):
+
+* ``Vc`` contains every original task plus one communication task per edge in
+  ``E'`` (cross-processor edges with positive data volume),
+* ``Ec`` contains the same-processor original edges, the two edges
+  ``(u, comm_uv)`` and ``(comm_uv, v)`` per communication, the per-processor
+  ordering chains and the per-link communication ordering chains (``E''``),
+* every node carries an integer *duration* (running time on its assigned
+  processor / link) and the name of that processor.
+
+The resulting :class:`EnhancedDAG` is the object all schedulers, cost
+evaluators and exact algorithms work on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.mapping.mapping import Mapping
+from repro.platform_.cluster import ExtendedPlatform, link_name
+from repro.platform_.processor import ProcessorSpec
+from repro.utils.errors import InvalidMappingError
+from repro.utils.ordering import topological_order
+from repro.utils.rng import RNGLike
+from repro.workflow.task import CommTask
+
+__all__ = ["EnhancedDAG", "build_enhanced_dag"]
+
+Edge = Tuple[Hashable, Hashable]
+
+
+class EnhancedDAG:
+    """The communication-enhanced DAG ``Gc`` together with its platform.
+
+    Instances are built by :func:`build_enhanced_dag`; the constructor is
+    considered internal.
+
+    Attributes of every node (exposed through accessors):
+
+    * ``duration`` — integer running time on the assigned processor,
+    * ``processor`` — name of the (compute or link) processor,
+    * ``is_comm`` — whether the node is a communication task.
+    """
+
+    def __init__(
+        self,
+        graph: nx.DiGraph,
+        platform: ExtendedPlatform,
+        mapping: Mapping,
+        processor_tasks: Dict[Hashable, List[Hashable]],
+    ) -> None:
+        self._graph = graph
+        self._platform = platform
+        self._mapping = mapping
+        self._processor_tasks = processor_tasks
+        if not nx.is_directed_acyclic_graph(graph):
+            raise InvalidMappingError(
+                "the communication-enhanced DAG contains a cycle; the mapping's "
+                "orderings are inconsistent with the precedence constraints"
+            )
+        self._order = topological_order(graph)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying DAG (treat as read-only)."""
+        return self._graph
+
+    @property
+    def platform(self) -> ExtendedPlatform:
+        """The extended platform (compute processors + used links)."""
+        return self._platform
+
+    @property
+    def mapping(self) -> Mapping:
+        """The fixed mapping this DAG was built from."""
+        return self._mapping
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes ``N = n + |E'|``."""
+        return self._graph.number_of_nodes()
+
+    @property
+    def num_comm_tasks(self) -> int:
+        """Number of communication tasks ``|E'|``."""
+        return sum(1 for node in self._graph.nodes if self.is_comm(node))
+
+    def nodes(self) -> List[Hashable]:
+        """Return all node names (original tasks and communication tasks)."""
+        return list(self._graph.nodes)
+
+    def edges(self) -> List[Edge]:
+        """Return all precedence edges of ``Ec``."""
+        return list(self._graph.edges)
+
+    def duration(self, node: Hashable) -> int:
+        """Return the running time of *node* on its assigned processor."""
+        return int(self._graph.nodes[node]["duration"])
+
+    def processor(self, node: Hashable) -> Hashable:
+        """Return the name of the processor executing *node*."""
+        return self._graph.nodes[node]["processor"]
+
+    def processor_spec(self, node: Hashable) -> ProcessorSpec:
+        """Return the :class:`ProcessorSpec` of the processor executing *node*."""
+        return self._platform.processor(self.processor(node))
+
+    def is_comm(self, node: Hashable) -> bool:
+        """Return whether *node* is a communication task."""
+        return bool(self._graph.nodes[node]["is_comm"])
+
+    def predecessors(self, node: Hashable) -> List[Hashable]:
+        """Return the direct predecessors of *node* in ``Gc``."""
+        return list(self._graph.predecessors(node))
+
+    def successors(self, node: Hashable) -> List[Hashable]:
+        """Return the direct successors of *node* in ``Gc``."""
+        return list(self._graph.successors(node))
+
+    def topological_order(self) -> List[Hashable]:
+        """Return a deterministic topological order of ``Gc`` (cached)."""
+        return list(self._order)
+
+    def tasks_on(self, processor: Hashable) -> List[Hashable]:
+        """Return the ordered nodes executed by *processor* (compute or link)."""
+        return list(self._processor_tasks.get(processor, []))
+
+    def processors_with_tasks(self) -> List[Hashable]:
+        """Return processors (compute and link) that execute at least one node."""
+        return [proc for proc, tasks in self._processor_tasks.items() if tasks]
+
+    def total_duration(self) -> int:
+        """Return the sum of all node durations (serial execution time)."""
+        return sum(self.duration(node) for node in self._graph.nodes)
+
+    def critical_path_duration(self) -> int:
+        """Return the longest path duration — a lower bound on any makespan."""
+        best: Dict[Hashable, int] = {}
+        for node in self._order:
+            incoming = max(
+                (best[p] for p in self._graph.predecessors(node)), default=0
+            )
+            best[node] = incoming + self.duration(node)
+        return max(best.values(), default=0)
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __contains__(self, node: Hashable) -> bool:
+        return self._graph.has_node(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EnhancedDAG(nodes={self.num_nodes}, comm_tasks={self.num_comm_tasks}, "
+            f"processors={self._platform.num_processors})"
+        )
+
+
+def build_enhanced_dag(
+    mapping: Mapping,
+    *,
+    rng: RNGLike = None,
+    bandwidth: float = 1.0,
+    link_power_range: Tuple[int, int] = (1, 2),
+) -> EnhancedDAG:
+    """Build the communication-enhanced DAG for *mapping*.
+
+    Parameters
+    ----------
+    mapping:
+        The fixed mapping (validated on construction).
+    rng:
+        Seed or generator used to draw link processor power values.
+    bandwidth:
+        Link bandwidth; communication durations are
+        ``ceil(data / bandwidth)`` (the paper normalises bandwidth to 1).
+    link_power_range:
+        Inclusive range from which link ``Pidle`` and ``Pwork`` are drawn
+        (the paper uses 1..2).
+
+    Returns
+    -------
+    EnhancedDAG
+    """
+    workflow = mapping.workflow
+    cluster = mapping.cluster
+    if bandwidth <= 0:
+        raise InvalidMappingError(f"bandwidth must be positive, got {bandwidth}")
+
+    platform = ExtendedPlatform.for_links(
+        cluster,
+        mapping.used_links(),
+        rng=rng,
+        min_power=link_power_range[0],
+        max_power=link_power_range[1],
+        bandwidth=bandwidth,
+    )
+
+    graph = nx.DiGraph()
+    processor_tasks: Dict[Hashable, List[Hashable]] = {}
+
+    # Compute tasks.
+    for task in workflow.tasks():
+        proc = mapping.processor_of(task)
+        duration = cluster.processor(proc).execution_time(workflow.work(task))
+        graph.add_node(task, duration=duration, processor=proc, is_comm=False)
+
+    # Communication tasks (E').
+    comm_nodes: Dict[Edge, Hashable] = {}
+    for source, target in mapping.communications():
+        comm = CommTask(source, target, volume=workflow.data(source, target))
+        link = link_name(mapping.processor_of(source), mapping.processor_of(target))
+        duration = platform.processor(link).execution_time(comm.volume)
+        graph.add_node(comm.name, duration=duration, processor=link, is_comm=True)
+        comm_nodes[(source, target)] = comm.name
+
+    # Original edges: same-processor (or zero-data) edges stay, cross-processor
+    # edges are routed through their communication task.
+    for source, target in workflow.dependencies():
+        key = (source, target)
+        if key in comm_nodes:
+            graph.add_edge(source, comm_nodes[key])
+            graph.add_edge(comm_nodes[key], target)
+        else:
+            graph.add_edge(source, target)
+
+    # Per-processor ordering chains.
+    for proc, tasks in mapping.processor_order().items():
+        if tasks:
+            processor_tasks[proc] = list(tasks)
+        for earlier, later in zip(tasks, tasks[1:]):
+            if not graph.has_edge(earlier, later):
+                graph.add_edge(earlier, later)
+
+    # Per-link communication ordering chains (E'').
+    for (src_proc, dst_proc), edges in mapping.communication_order().items():
+        link = link_name(src_proc, dst_proc)
+        ordered_nodes = [comm_nodes[tuple(edge)] for edge in edges]
+        if ordered_nodes:
+            processor_tasks[link] = list(ordered_nodes)
+        for earlier, later in zip(ordered_nodes, ordered_nodes[1:]):
+            if not graph.has_edge(earlier, later):
+                graph.add_edge(earlier, later)
+
+    return EnhancedDAG(graph, platform, mapping, processor_tasks)

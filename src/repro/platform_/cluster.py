@@ -1,0 +1,251 @@
+"""Heterogeneous cluster model and the communication-extended platform.
+
+A :class:`Cluster` holds the real (compute) processors.  The paper's framework
+adds one fictional processor per directed communication link (full-duplex,
+fully connected topology); :class:`ExtendedPlatform` provides that view.  To
+keep the model practical, link processors are only materialised for the links
+that are actually used by at least one communication of the mapping — the
+paper notes that the static power of an unused link can be set to 0, which is
+equivalent to omitting it from the platform entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.utils.errors import InvalidMappingError
+from repro.utils.rng import RNGLike, ensure_rng
+from repro.platform_.processor import COMPUTE, LINK, ProcessorSpec
+
+__all__ = ["Cluster", "ExtendedPlatform", "link_name"]
+
+
+def link_name(source_proc: Hashable, target_proc: Hashable) -> Tuple[str, Hashable, Hashable]:
+    """Return the canonical name of the directed link ``source -> target``."""
+    return ("link", source_proc, target_proc)
+
+
+class Cluster:
+    """A set of heterogeneous compute processors.
+
+    Parameters
+    ----------
+    processors:
+        The compute processors.  Names must be unique; every entry must have
+        kind ``"compute"``.
+    name:
+        Human-readable cluster name (e.g. ``"small"`` / ``"large"``).
+    """
+
+    def __init__(self, processors: Iterable[ProcessorSpec], name: str = "cluster") -> None:
+        self._name = str(name)
+        self._processors: Dict[Hashable, ProcessorSpec] = {}
+        for spec in processors:
+            if spec.kind != COMPUTE:
+                raise ValueError(
+                    f"cluster processors must be compute processors, got {spec.kind!r}"
+                )
+            if spec.name in self._processors:
+                raise ValueError(f"duplicate processor name {spec.name!r}")
+            self._processors[spec.name] = spec
+        if not self._processors:
+            raise ValueError("a cluster needs at least one processor")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Cluster name."""
+        return self._name
+
+    @property
+    def num_processors(self) -> int:
+        """Number of compute processors."""
+        return len(self._processors)
+
+    def processor_names(self) -> List[Hashable]:
+        """Return the processor names (insertion order)."""
+        return list(self._processors)
+
+    def processors(self) -> List[ProcessorSpec]:
+        """Return the processor specifications (insertion order)."""
+        return list(self._processors.values())
+
+    def processor(self, name: Hashable) -> ProcessorSpec:
+        """Return the specification of processor *name*."""
+        try:
+            return self._processors[name]
+        except KeyError as exc:
+            raise KeyError(f"unknown processor {name!r}") from exc
+
+    def has_processor(self, name: Hashable) -> bool:
+        """Return whether processor *name* exists."""
+        return name in self._processors
+
+    def total_idle_power(self) -> int:
+        """Return the sum of idle powers of all compute processors."""
+        return sum(p.p_idle for p in self._processors.values())
+
+    def total_work_power(self) -> int:
+        """Return the sum of working powers of all compute processors."""
+        return sum(p.p_work for p in self._processors.values())
+
+    def fastest_processor(self) -> ProcessorSpec:
+        """Return the processor with the highest speed (ties: first declared)."""
+        return max(self._processors.values(), key=lambda p: p.speed)
+
+    def by_type(self) -> Dict[str, List[ProcessorSpec]]:
+        """Group processors by their ``proc_type`` label."""
+        groups: Dict[str, List[ProcessorSpec]] = {}
+        for spec in self._processors.values():
+            groups.setdefault(spec.proc_type or "unknown", []).append(spec)
+        return groups
+
+    def __iter__(self) -> Iterator[ProcessorSpec]:
+        return iter(self._processors.values())
+
+    def __len__(self) -> int:
+        return len(self._processors)
+
+    def __contains__(self, name: Hashable) -> bool:
+        return name in self._processors
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Cluster(name={self._name!r}, processors={self.num_processors})"
+
+
+class ExtendedPlatform:
+    """The cluster plus the fictional link processors used by a mapping.
+
+    The extended platform is what schedules and cost computations operate on:
+    every task of the communication-enhanced DAG (computation or
+    communication) is mapped onto exactly one of its processors.
+
+    Parameters
+    ----------
+    cluster:
+        The compute cluster.
+    links:
+        The link processors to include (typically only the links used by the
+        mapping's communications).  Their names must be produced by
+        :func:`link_name` and be unique.
+    """
+
+    def __init__(self, cluster: Cluster, links: Iterable[ProcessorSpec] = ()) -> None:
+        self._cluster = cluster
+        self._links: Dict[Hashable, ProcessorSpec] = {}
+        for spec in links:
+            if spec.kind != LINK:
+                raise ValueError(f"link processors must have kind 'link', got {spec.kind!r}")
+            if spec.name in self._links or cluster.has_processor(spec.name):
+                raise ValueError(f"duplicate processor name {spec.name!r}")
+            self._links[spec.name] = spec
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_links(
+        cls,
+        cluster: Cluster,
+        used_links: Iterable[Tuple[Hashable, Hashable]],
+        *,
+        rng: RNGLike = None,
+        min_power: int = 1,
+        max_power: int = 2,
+        bandwidth: float = 1.0,
+    ) -> "ExtendedPlatform":
+        """Create an extended platform with one processor per used link.
+
+        Idle and working power of each link are drawn uniformly from
+        ``[min_power, max_power]`` (integers), reproducing the paper's "values
+        for Pidle and Pwork randomly between 1 and 2 for communication links".
+        The link bandwidth (speed) is normalised to *bandwidth*.
+        """
+        rng = ensure_rng(rng)
+        specs: List[ProcessorSpec] = []
+        seen = set()
+        for source_proc, target_proc in used_links:
+            if source_proc == target_proc:
+                raise InvalidMappingError(
+                    f"link from processor {source_proc!r} to itself is not allowed"
+                )
+            for proc in (source_proc, target_proc):
+                if not cluster.has_processor(proc):
+                    raise InvalidMappingError(f"unknown processor {proc!r} in link")
+            key = link_name(source_proc, target_proc)
+            if key in seen:
+                continue
+            seen.add(key)
+            p_idle = int(rng.integers(min_power, max_power + 1))
+            p_work = int(rng.integers(min_power, max_power + 1))
+            specs.append(
+                ProcessorSpec(
+                    name=key,
+                    speed=bandwidth,
+                    p_idle=p_idle,
+                    p_work=p_work,
+                    kind=LINK,
+                    proc_type="LINK",
+                )
+            )
+        return cls(cluster, specs)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cluster(self) -> Cluster:
+        """The underlying compute cluster."""
+        return self._cluster
+
+    @property
+    def num_processors(self) -> int:
+        """Total number of processors (compute + links)."""
+        return self._cluster.num_processors + len(self._links)
+
+    @property
+    def num_links(self) -> int:
+        """Number of link processors."""
+        return len(self._links)
+
+    def processor_names(self) -> List[Hashable]:
+        """Return all processor names, compute processors first."""
+        return self._cluster.processor_names() + list(self._links)
+
+    def processors(self) -> List[ProcessorSpec]:
+        """Return all processor specifications, compute processors first."""
+        return self._cluster.processors() + list(self._links.values())
+
+    def links(self) -> List[ProcessorSpec]:
+        """Return the link processors."""
+        return list(self._links.values())
+
+    def processor(self, name: Hashable) -> ProcessorSpec:
+        """Return the specification of processor *name* (compute or link)."""
+        if self._cluster.has_processor(name):
+            return self._cluster.processor(name)
+        try:
+            return self._links[name]
+        except KeyError as exc:
+            raise KeyError(f"unknown processor {name!r}") from exc
+
+    def has_processor(self, name: Hashable) -> bool:
+        """Return whether processor *name* exists (compute or link)."""
+        return self._cluster.has_processor(name) or name in self._links
+
+    def total_idle_power(self) -> int:
+        """Return the sum of idle powers over all processors (compute + links)."""
+        return self._cluster.total_idle_power() + sum(
+            p.p_idle for p in self._links.values()
+        )
+
+    def total_work_power(self) -> int:
+        """Return the sum of working powers over all processors (compute + links)."""
+        return self._cluster.total_work_power() + sum(
+            p.p_work for p in self._links.values()
+        )
+
+    def __contains__(self, name: Hashable) -> bool:
+        return self.has_processor(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ExtendedPlatform(cluster={self._cluster.name!r}, "
+            f"compute={self._cluster.num_processors}, links={len(self._links)})"
+        )

@@ -1,0 +1,90 @@
+"""Processor specifications.
+
+A processor (the paper's ``p_i``) is described by a normalised *speed*, an
+*idle power* drawn every time unit regardless of activity, and a *working
+power* added whenever the processor executes a task.  Communication links are
+modelled as fictional processors of kind ``"link"`` (see §3 of the paper);
+their "speed" is the link bandwidth (normalised to 1 in the paper's
+experiments) and their power draw is small.
+
+Running times are integer multiples of the global time unit:
+``execution_time(work) = ceil(work / speed)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.utils.validation import check_in_range, check_non_negative_int
+
+__all__ = ["ProcessorSpec", "COMPUTE", "LINK"]
+
+#: Processor kinds.
+COMPUTE = "compute"
+LINK = "link"
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """Specification of a (real or fictional) processor.
+
+    Parameters
+    ----------
+    name:
+        Unique processor identifier within its cluster / extended platform.
+    speed:
+        Normalised processing speed (positive).  A task with work volume ``w``
+        takes ``ceil(w / speed)`` time units.
+    p_idle:
+        Idle power drawn every time unit (non-negative integer).
+    p_work:
+        Additional power drawn while executing a task (non-negative integer).
+    kind:
+        ``"compute"`` for real processors, ``"link"`` for communication-link
+        pseudo-processors.
+    proc_type:
+        Optional type label (e.g. ``"PT3"`` from Table 1 of the paper).
+    """
+
+    name: Hashable
+    speed: float = 1.0
+    p_idle: int = 0
+    p_work: int = 1
+    kind: str = COMPUTE
+    proc_type: str = ""
+
+    def __post_init__(self) -> None:
+        check_in_range(self.speed, "speed", low=0.0, low_inclusive=False)
+        check_non_negative_int(self.p_idle, "p_idle")
+        check_non_negative_int(self.p_work, "p_work")
+        if self.kind not in (COMPUTE, LINK):
+            raise ValueError(f"kind must be 'compute' or 'link', got {self.kind!r}")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_power(self) -> int:
+        """Idle plus working power — the draw while the processor is active."""
+        return int(self.p_idle + self.p_work)
+
+    @property
+    def is_link(self) -> bool:
+        """Whether this processor models a communication link."""
+        return self.kind == LINK
+
+    def execution_time(self, work: int) -> int:
+        """Return the integer running time of a task with the given work volume.
+
+        The result is at least 1 time unit (a task always occupies some time).
+        """
+        work = check_non_negative_int(work, "work")
+        if work == 0:
+            return 1
+        return max(1, int(math.ceil(work / self.speed)))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProcessorSpec({self.name!r}, speed={self.speed}, "
+            f"Pidle={self.p_idle}, Pwork={self.p_work}, kind={self.kind})"
+        )

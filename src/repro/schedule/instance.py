@@ -1,0 +1,104 @@
+"""Problem instances: a communication-enhanced DAG plus a green-power profile.
+
+A :class:`ProblemInstance` bundles everything the optimisation problem of the
+paper needs: the communication-enhanced DAG ``Gc`` (tasks, durations,
+processors, precedence), the green-power profile over the horizon ``[0, T)``,
+and therefore the deadline ``T`` itself (the profile's horizon).  All
+schedulers, cost evaluators and exact algorithms take a problem instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional
+
+from repro.carbon.intervals import PowerProfile
+from repro.mapping.enhanced_dag import EnhancedDAG
+from repro.utils.errors import InfeasibleScheduleError, InvalidProfileError
+
+__all__ = ["ProblemInstance"]
+
+
+@dataclass(frozen=True)
+class ProblemInstance:
+    """An instance of the carbon-aware scheduling problem.
+
+    Parameters
+    ----------
+    dag:
+        The communication-enhanced DAG (fixed mapping and ordering included).
+    profile:
+        The green-power profile; its horizon is the deadline ``T``.
+    name:
+        Optional instance label used in experiment reports.
+    metadata:
+        Free-form key/value annotations (workflow family, scenario, deadline
+        factor, cluster name, ...) carried through the experiment pipeline.
+
+    Raises
+    ------
+    InfeasibleScheduleError
+        If no schedule can meet the deadline (the DAG's critical path is
+        longer than the horizon).
+    """
+
+    dag: EnhancedDAG
+    profile: PowerProfile
+    name: str = "instance"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.profile.horizon <= 0:
+            raise InvalidProfileError("the profile horizon must be positive")
+        critical = self.dag.critical_path_duration()
+        if critical > self.profile.horizon:
+            raise InfeasibleScheduleError(
+                f"deadline {self.profile.horizon} is shorter than the critical "
+                f"path duration {critical}; no feasible schedule exists"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def deadline(self) -> int:
+        """The deadline ``T`` (the profile horizon)."""
+        return self.profile.horizon
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of nodes of the communication-enhanced DAG (``N = n + |E'|``)."""
+        return self.dag.num_nodes
+
+    def total_idle_power(self) -> int:
+        """Total idle power of the platform (drawn every time unit)."""
+        return self.dag.platform.total_idle_power()
+
+    def total_work_power(self) -> int:
+        """Total working power of the platform (upper bound on the variable draw)."""
+        return self.dag.platform.total_work_power()
+
+    def work_power_of(self, node: Hashable) -> int:
+        """Working power of the processor that executes *node*."""
+        return self.dag.processor_spec(node).p_work
+
+    def active_power_of(self, node: Hashable) -> int:
+        """Idle plus working power of the processor that executes *node*."""
+        return self.dag.processor_spec(node).total_power
+
+    def describe(self) -> Dict[str, object]:
+        """Return a dictionary summary (used by experiment reports)."""
+        summary: Dict[str, object] = {
+            "name": self.name,
+            "tasks": self.dag.num_nodes,
+            "comm_tasks": self.dag.num_comm_tasks,
+            "processors": self.dag.platform.num_processors,
+            "deadline": self.deadline,
+            "intervals": self.profile.num_intervals,
+        }
+        summary.update(self.metadata)
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProblemInstance(name={self.name!r}, tasks={self.dag.num_nodes}, "
+            f"deadline={self.deadline})"
+        )

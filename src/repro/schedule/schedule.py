@@ -1,0 +1,146 @@
+"""Schedules: a start time for every node of the communication-enhanced DAG.
+
+A :class:`Schedule` maps every node of an instance's DAG (computation and
+communication tasks) to an integer start time.  It is a lightweight, copyable
+value object; feasibility checking lives in
+:mod:`repro.schedule.validation` and cost evaluation in
+:mod:`repro.schedule.cost`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Mapping, Optional
+
+from repro.schedule.instance import ProblemInstance
+from repro.utils.errors import InvalidScheduleError
+
+__all__ = ["Schedule"]
+
+
+class Schedule:
+    """Start times of all tasks of a problem instance.
+
+    Parameters
+    ----------
+    instance:
+        The problem instance the schedule refers to.
+    start_times:
+        Node → integer start time.  Must cover every node of the instance's
+        DAG exactly; extra or missing nodes raise
+        :class:`~repro.utils.errors.InvalidScheduleError`.
+    algorithm:
+        Name of the algorithm that produced the schedule (for reporting).
+    """
+
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        start_times: Mapping[Hashable, int],
+        *,
+        algorithm: str = "unknown",
+    ) -> None:
+        self._instance = instance
+        self._algorithm = str(algorithm)
+        dag_nodes = set(instance.dag.nodes())
+        given = set(start_times)
+        missing = dag_nodes - given
+        if missing:
+            example = next(iter(missing))
+            raise InvalidScheduleError(
+                f"schedule is missing {len(missing)} task(s), e.g. {example!r}"
+            )
+        extra = given - dag_nodes
+        if extra:
+            example = next(iter(extra))
+            raise InvalidScheduleError(
+                f"schedule mentions {len(extra)} unknown task(s), e.g. {example!r}"
+            )
+        self._start: Dict[Hashable, int] = {}
+        for node, value in start_times.items():
+            value = int(value)
+            if value < 0:
+                raise InvalidScheduleError(f"task {node!r} has negative start time {value}")
+            self._start[node] = value
+
+    # ------------------------------------------------------------------ #
+    @property
+    def instance(self) -> ProblemInstance:
+        """The problem instance the schedule belongs to."""
+        return self._instance
+
+    @property
+    def algorithm(self) -> str:
+        """Name of the algorithm that produced the schedule."""
+        return self._algorithm
+
+    def start(self, node: Hashable) -> int:
+        """Return the start time of *node*."""
+        try:
+            return self._start[node]
+        except KeyError as exc:
+            raise InvalidScheduleError(f"unknown task {node!r}") from exc
+
+    def finish(self, node: Hashable) -> int:
+        """Return the finish time of *node* (start plus duration)."""
+        return self.start(node) + self._instance.dag.duration(node)
+
+    def start_times(self) -> Dict[Hashable, int]:
+        """Return a copy of the node → start-time mapping."""
+        return dict(self._start)
+
+    @property
+    def makespan(self) -> int:
+        """Return the latest finish time of any task."""
+        dag = self._instance.dag
+        return max(
+            (start + dag.duration(node) for node, start in self._start.items()),
+            default=0,
+        )
+
+    def meets_deadline(self) -> bool:
+        """Return whether the schedule finishes by the instance's deadline."""
+        return self.makespan <= self._instance.deadline
+
+    # ------------------------------------------------------------------ #
+    def copy(self, *, algorithm: Optional[str] = None) -> "Schedule":
+        """Return a copy of the schedule (optionally renaming the algorithm)."""
+        return Schedule(
+            self._instance,
+            dict(self._start),
+            algorithm=algorithm if algorithm is not None else self._algorithm,
+        )
+
+    def with_start(self, node: Hashable, start: int, *, algorithm: Optional[str] = None) -> "Schedule":
+        """Return a copy of the schedule with *node* moved to *start*."""
+        if node not in self._start:
+            raise InvalidScheduleError(f"unknown task {node!r}")
+        updated = dict(self._start)
+        updated[node] = int(start)
+        return Schedule(
+            self._instance,
+            updated,
+            algorithm=algorithm if algorithm is not None else self._algorithm,
+        )
+
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._start)
+
+    def __len__(self) -> int:
+        return len(self._start)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._start
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Schedule)
+            and self._instance is other._instance
+            and self._start == other._start
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule(algorithm={self._algorithm!r}, tasks={len(self._start)}, "
+            f"makespan={self.makespan})"
+        )

@@ -1,0 +1,101 @@
+"""Feasibility checking of schedules.
+
+A schedule of the communication-enhanced DAG is feasible when
+
+1. every task starts at a non-negative time and finishes by the deadline,
+2. every precedence edge of ``Ec`` is respected (a task starts no earlier than
+   each predecessor's finish time),
+3. tasks mapped to the same (compute or link) processor do not overlap, and
+4. the per-processor ordering of the fixed mapping is respected.
+
+Constraint 4 is implied by constraint 2 (the ordering is encoded as chain
+edges in ``Ec``), and constraint 3 follows from 2 + 4; both are nevertheless
+checked explicitly so that bugs in the DAG construction cannot mask scheduling
+bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Tuple
+
+from repro.schedule.schedule import Schedule
+from repro.utils.errors import InfeasibleScheduleError
+
+__all__ = ["check_schedule", "is_feasible", "feasibility_violations"]
+
+
+def feasibility_violations(schedule: Schedule, *, limit: Optional[int] = None) -> List[str]:
+    """Return human-readable descriptions of all feasibility violations.
+
+    Parameters
+    ----------
+    schedule:
+        The schedule to check.
+    limit:
+        Stop after this many violations (``None`` collects all of them).
+    """
+    instance = schedule.instance
+    dag = instance.dag
+    deadline = instance.deadline
+    violations: List[str] = []
+
+    def add(message: str) -> bool:
+        violations.append(message)
+        return limit is not None and len(violations) >= limit
+
+    # 1. Horizon.
+    for node in dag.nodes():
+        start = schedule.start(node)
+        finish = start + dag.duration(node)
+        if start < 0:
+            if add(f"task {node!r} starts at negative time {start}"):
+                return violations
+        if finish > deadline:
+            if add(
+                f"task {node!r} finishes at {finish}, after the deadline {deadline}"
+            ):
+                return violations
+
+    # 2. Precedence (includes the ordering chain edges).
+    for source, target in dag.edges():
+        source_finish = schedule.start(source) + dag.duration(source)
+        if schedule.start(target) < source_finish:
+            if add(
+                f"precedence violated: {target!r} starts at {schedule.start(target)} "
+                f"before {source!r} finishes at {source_finish}"
+            ):
+                return violations
+
+    # 3. Non-overlap per processor (explicit, although implied by 2 + chains).
+    for processor in dag.processors_with_tasks():
+        tasks = dag.tasks_on(processor)
+        ordered = sorted(tasks, key=schedule.start)
+        for earlier, later in zip(ordered, ordered[1:]):
+            if schedule.start(later) < schedule.start(earlier) + dag.duration(earlier):
+                if add(
+                    f"tasks {earlier!r} and {later!r} overlap on processor {processor!r}"
+                ):
+                    return violations
+
+        # 4. The fixed ordering itself.
+        positions = {task: index for index, task in enumerate(tasks)}
+        for earlier, later in zip(ordered, ordered[1:]):
+            if positions[earlier] > positions[later]:
+                if add(
+                    f"the fixed order of processor {processor!r} is violated: "
+                    f"{earlier!r} runs before {later!r}"
+                ):
+                    return violations
+    return violations
+
+
+def is_feasible(schedule: Schedule) -> bool:
+    """Return whether *schedule* satisfies all feasibility constraints."""
+    return not feasibility_violations(schedule, limit=1)
+
+
+def check_schedule(schedule: Schedule) -> None:
+    """Raise :class:`InfeasibleScheduleError` if *schedule* is infeasible."""
+    violations = feasibility_violations(schedule, limit=1)
+    if violations:
+        raise InfeasibleScheduleError(violations[0])

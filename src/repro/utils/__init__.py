@@ -1,0 +1,60 @@
+"""Shared utilities for the CaWoSched reproduction.
+
+This subpackage bundles small helpers that are used across all other
+subpackages:
+
+* :mod:`repro.utils.errors` — the exception hierarchy raised by the library.
+* :mod:`repro.utils.rng` — seeded random-number-generator helpers so that
+  every stochastic component (workflow generators, power-profile scenarios,
+  instance grids) is reproducible.
+* :mod:`repro.utils.ordering` — topological-order helpers on
+  :class:`networkx.DiGraph` objects.
+* :mod:`repro.utils.validation` — argument-checking helpers shared by the
+  public API.
+"""
+
+from repro.utils.errors import (
+    CaWoSchedError,
+    CyclicWorkflowError,
+    InfeasibleScheduleError,
+    InvalidMappingError,
+    InvalidProfileError,
+    InvalidScheduleError,
+    InvalidWorkflowError,
+    SolverError,
+)
+from repro.utils.rng import derive_rng, ensure_rng, spawn_seeds
+from repro.utils.ordering import (
+    topological_order,
+    is_topological_order,
+    ancestors_closure,
+    descendants_closure,
+)
+from repro.utils.validation import (
+    check_positive_int,
+    check_non_negative_int,
+    check_probability,
+    check_in_range,
+)
+
+__all__ = [
+    "CaWoSchedError",
+    "CyclicWorkflowError",
+    "InfeasibleScheduleError",
+    "InvalidMappingError",
+    "InvalidProfileError",
+    "InvalidScheduleError",
+    "InvalidWorkflowError",
+    "SolverError",
+    "derive_rng",
+    "ensure_rng",
+    "spawn_seeds",
+    "topological_order",
+    "is_topological_order",
+    "ancestors_closure",
+    "descendants_closure",
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_probability",
+    "check_in_range",
+]

@@ -1,0 +1,76 @@
+"""Topological-order helpers on :class:`networkx.DiGraph` objects.
+
+The schedulers rely on topological orders in several places: EST/LST
+propagation, the greedy placement loop and the single-processor DP.  These
+helpers wrap :mod:`networkx` with deterministic tie-breaking (by node sort
+key) so that repeated runs produce identical orders, which matters for the
+reproducibility of the greedy heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Sequence, Set
+
+import networkx as nx
+
+from repro.utils.errors import CyclicWorkflowError
+
+__all__ = [
+    "topological_order",
+    "is_topological_order",
+    "ancestors_closure",
+    "descendants_closure",
+]
+
+
+def topological_order(graph: nx.DiGraph) -> List[Hashable]:
+    """Return a deterministic topological order of *graph*.
+
+    Ties (nodes whose predecessors are all already emitted) are broken by the
+    natural sort order of the node labels, so the result is unique for a given
+    graph.
+
+    Raises
+    ------
+    CyclicWorkflowError
+        If the graph contains a cycle.
+    """
+    try:
+        return list(nx.lexicographical_topological_sort(graph, key=_sort_key))
+    except nx.NetworkXUnfeasible as exc:
+        raise CyclicWorkflowError("graph contains a cycle") from exc
+
+
+def is_topological_order(graph: nx.DiGraph, order: Sequence[Hashable]) -> bool:
+    """Check whether *order* is a valid topological order of *graph*.
+
+    The order must contain every node of the graph exactly once and place
+    every edge source before its target.
+    """
+    if len(order) != graph.number_of_nodes():
+        return False
+    position = {node: index for index, node in enumerate(order)}
+    if len(position) != graph.number_of_nodes():
+        return False
+    for node in graph.nodes:
+        if node not in position:
+            return False
+    for source, target in graph.edges:
+        if position[source] >= position[target]:
+            return False
+    return True
+
+
+def ancestors_closure(graph: nx.DiGraph, node: Hashable) -> Set[Hashable]:
+    """Return the set of ancestors of *node* (excluding the node itself)."""
+    return set(nx.ancestors(graph, node))
+
+
+def descendants_closure(graph: nx.DiGraph, node: Hashable) -> Set[Hashable]:
+    """Return the set of descendants of *node* (excluding the node itself)."""
+    return set(nx.descendants(graph, node))
+
+
+def _sort_key(node: Hashable):
+    """Sort key that tolerates mixed node label types."""
+    return (str(type(node).__name__), str(node))

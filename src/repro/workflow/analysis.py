@@ -1,0 +1,91 @@
+"""Structural analysis helpers for workflows.
+
+These helpers compute the structural statistics used by the experiment
+reporting (size class, width, depth, parallelism profile) and by the examples.
+They are read-only and operate on a :class:`~repro.workflow.dag.Workflow`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List
+
+from repro.workflow.dag import Workflow
+
+__all__ = ["WorkflowStats", "workflow_stats", "size_class", "width_profile"]
+
+#: Size-class boundaries used by the paper's Figure 16 grouping, rescaled for
+#: the laptop-sized default experiments.  Paper: small 200–4,000, medium
+#: 8,000–18,000, large 20,000–30,000 tasks.  The thresholds below keep the
+#: same *relative* split (bottom third / middle third / top third) for any
+#: experiment-grid size range via :func:`size_class`.
+PAPER_SIZE_CLASSES = {"small": (0, 4000), "medium": (4001, 18000), "large": (18001, 10**9)}
+
+
+@dataclass(frozen=True)
+class WorkflowStats:
+    """Summary statistics of a workflow's structure.
+
+    Attributes
+    ----------
+    num_tasks, num_dependencies:
+        Vertex and edge counts.
+    depth:
+        Number of levels (longest chain length in tasks).
+    max_width:
+        Maximum number of tasks in any level — an upper bound on exploitable
+        task parallelism.
+    total_work, total_data:
+        Sums of the task and edge weights.
+    critical_path_work:
+        Maximum work along any path (unit-speed makespan lower bound).
+    avg_degree:
+        Average out-degree.
+    """
+
+    num_tasks: int
+    num_dependencies: int
+    depth: int
+    max_width: int
+    total_work: int
+    total_data: int
+    critical_path_work: int
+    avg_degree: float
+
+
+def workflow_stats(workflow: Workflow) -> WorkflowStats:
+    """Compute :class:`WorkflowStats` for *workflow*."""
+    widths = width_profile(workflow)
+    n = workflow.number_of_tasks
+    return WorkflowStats(
+        num_tasks=n,
+        num_dependencies=workflow.number_of_dependencies,
+        depth=workflow.depth(),
+        max_width=max(widths.values(), default=0),
+        total_work=workflow.total_work(),
+        total_data=workflow.total_data(),
+        critical_path_work=workflow.critical_path_work(),
+        avg_degree=(workflow.number_of_dependencies / n) if n else 0.0,
+    )
+
+
+def width_profile(workflow: Workflow) -> Dict[int, int]:
+    """Return the number of tasks per level (level -> count)."""
+    counts: Dict[int, int] = {}
+    for _, level in workflow.levels().items():
+        counts[level] = counts.get(level, 0) + 1
+    return counts
+
+
+def size_class(num_tasks: int, *, boundaries: Dict[str, tuple] = None) -> str:
+    """Classify a workflow size into ``"small"``, ``"medium"`` or ``"large"``.
+
+    By default the paper's absolute boundaries are used (Figure 16); passing
+    custom *boundaries* (name -> (low, high) inclusive) allows the scaled-down
+    experiment grid to keep a three-way split.
+    """
+    table = boundaries if boundaries is not None else PAPER_SIZE_CLASSES
+    for name, (low, high) in table.items():
+        if low <= num_tasks <= high:
+            return name
+    return "large"

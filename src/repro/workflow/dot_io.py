@@ -1,0 +1,197 @@
+"""GraphViz ``.dot`` import/export of workflows.
+
+The paper converts Nextflow workflow definitions to ``.dot`` files and prunes
+Nextflow-internal pseudo-tasks before scheduling.  This module provides the
+same capability without requiring ``pydot``/``pygraphviz``: a small,
+dependency-free parser for the subset of the DOT language that workflow
+exports use (node statements, edge statements, ``key=value`` attribute lists,
+quoted identifiers), plus a writer, plus the pseudo-task pruning step.
+
+Supported DOT subset::
+
+    digraph name {
+        "task_a" [label="FASTQC", weight=12];
+        "task_b" [weight=7];
+        "task_a" -> "task_b" [data=3];
+    }
+
+Unknown attributes are preserved on import only insofar as they map onto the
+workflow model (``weight``/``work`` for tasks, ``data``/``weight`` for edges,
+``label``/``category`` for categories); everything else is ignored.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.utils.errors import InvalidWorkflowError
+from repro.workflow.dag import Workflow
+
+__all__ = [
+    "parse_dot",
+    "read_dot",
+    "write_dot",
+    "workflow_to_dot",
+    "prune_pseudo_tasks",
+    "DEFAULT_PSEUDO_TASK_MARKERS",
+]
+
+#: Substrings identifying Nextflow-internal pseudo tasks which carry no
+#: computational payload (channel operators and the like); tasks whose name or
+#: label contains one of these markers are removed by
+#: :func:`prune_pseudo_tasks`, reconnecting their neighbours.
+DEFAULT_PSEUDO_TASK_MARKERS: Tuple[str, ...] = (
+    "channel",
+    "operator",
+    "collect_file",
+    "ifempty",
+    "branch_point",
+    "dummy",
+)
+
+_NODE_RE = re.compile(
+    r"^\s*(?P<id>\"[^\"]+\"|[\w.]+)\s*(?:\[(?P<attrs>[^\]]*)\])?\s*;?\s*$"
+)
+_EDGE_RE = re.compile(
+    r"^\s*(?P<src>\"[^\"]+\"|[\w.]+)\s*->\s*(?P<dst>\"[^\"]+\"|[\w.]+)"
+    r"\s*(?:\[(?P<attrs>[^\]]*)\])?\s*;?\s*$"
+)
+_ATTR_RE = re.compile(r"(\w+)\s*=\s*(\"[^\"]*\"|[\w.+-]+)")
+
+
+def _unquote(token: str) -> str:
+    token = token.strip()
+    if len(token) >= 2 and token[0] == '"' and token[-1] == '"':
+        return token[1:-1]
+    return token
+
+
+def _parse_attrs(text: Optional[str]) -> Dict[str, str]:
+    if not text:
+        return {}
+    return {key: _unquote(value) for key, value in _ATTR_RE.findall(text)}
+
+
+def _to_int(value: str, default: int) -> int:
+    try:
+        return int(round(float(value)))
+    except (TypeError, ValueError):
+        return default
+
+
+def parse_dot(text: str, *, name: Optional[str] = None, default_work: int = 1) -> Workflow:
+    """Parse DOT *text* into a :class:`~repro.workflow.dag.Workflow`.
+
+    Node attributes ``weight`` or ``work`` become the task work volume
+    (default *default_work*); ``label`` becomes the category.  Edge attributes
+    ``data`` or ``weight`` become the communication volume (default 0).
+    Nodes that only appear in edge statements are created implicitly.
+
+    Raises
+    ------
+    InvalidWorkflowError
+        If the text is not a digraph or contains an unparsable statement.
+    """
+    lines = [line.strip() for line in text.splitlines()]
+    lines = [line for line in lines if line and not line.startswith(("//", "#"))]
+    if not lines:
+        raise InvalidWorkflowError("empty DOT document")
+
+    header = lines[0]
+    match = re.match(r"^(strict\s+)?digraph\s*(?P<name>\"[^\"]+\"|[\w.]*)\s*\{?", header)
+    if match is None:
+        raise InvalidWorkflowError("DOT document must start with a 'digraph' statement")
+    graph_name = name or _unquote(match.group("name") or "") or "workflow"
+
+    body: List[str] = []
+    for line in lines:
+        stripped = line
+        if stripped.startswith(("digraph", "strict")):
+            brace = stripped.find("{")
+            stripped = stripped[brace + 1 :] if brace >= 0 else ""
+        stripped = stripped.rstrip("}").strip()
+        if stripped:
+            body.extend(part.strip() for part in stripped.split(";") if part.strip())
+
+    wf = Workflow(graph_name)
+    pending_edges: List[Tuple[str, str, int]] = []
+    for statement in body:
+        if statement.startswith(("graph", "node", "edge", "rankdir", "label=")):
+            continue  # global attribute statements — irrelevant for scheduling
+        edge_match = _EDGE_RE.match(statement)
+        if edge_match and "->" in statement:
+            attrs = _parse_attrs(edge_match.group("attrs"))
+            data = _to_int(attrs.get("data", attrs.get("weight", "0")), 0)
+            pending_edges.append(
+                (_unquote(edge_match.group("src")), _unquote(edge_match.group("dst")), max(0, data))
+            )
+            continue
+        node_match = _NODE_RE.match(statement)
+        if node_match:
+            attrs = _parse_attrs(node_match.group("attrs"))
+            node = _unquote(node_match.group("id"))
+            work = _to_int(attrs.get("work", attrs.get("weight", str(default_work))), default_work)
+            category = attrs.get("label") or attrs.get("category")
+            if not wf.has_task(node):
+                wf.add_task(node, work=max(1, work), category=category)
+            continue
+        raise InvalidWorkflowError(f"cannot parse DOT statement: {statement!r}")
+
+    for source, target, data in pending_edges:
+        for endpoint in (source, target):
+            if not wf.has_task(endpoint):
+                wf.add_task(endpoint, work=default_work)
+        if not wf.has_dependency(source, target):
+            wf.add_dependency(source, target, data=data)
+    wf.validate()
+    return wf
+
+
+def read_dot(path: Union[str, Path], *, name: Optional[str] = None) -> Workflow:
+    """Read a workflow from a ``.dot`` file."""
+    path = Path(path)
+    return parse_dot(path.read_text(encoding="utf8"), name=name or path.stem)
+
+
+def workflow_to_dot(workflow: Workflow) -> str:
+    """Serialise *workflow* into DOT text (round-trips through :func:`parse_dot`)."""
+    lines = [f'digraph "{workflow.name}" {{']
+    for task in workflow.tasks():
+        category = workflow.category(task)
+        label = f', label="{category}"' if category else ""
+        lines.append(f'    "{task}" [work={workflow.work(task)}{label}];')
+    for source, target in workflow.dependencies():
+        lines.append(
+            f'    "{source}" -> "{target}" [data={workflow.data(source, target)}];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_dot(workflow: Workflow, path: Union[str, Path]) -> None:
+    """Write *workflow* to a ``.dot`` file."""
+    Path(path).write_text(workflow_to_dot(workflow), encoding="utf8")
+
+
+def prune_pseudo_tasks(
+    workflow: Workflow,
+    markers: Iterable[str] = DEFAULT_PSEUDO_TASK_MARKERS,
+) -> Workflow:
+    """Return a copy of *workflow* with Nextflow-style pseudo tasks removed.
+
+    A task is considered a pseudo task when its name or category contains one
+    of the *markers* (case-insensitive).  Removed tasks are bridged: every
+    predecessor is connected to every successor with communication volume 0,
+    so precedence is preserved.
+    """
+    markers = tuple(marker.lower() for marker in markers)
+    pruned = workflow.copy(name=f"{workflow.name}-pruned")
+    for task in list(pruned.tasks()):
+        label = str(task).lower()
+        category = (pruned.category(task) or "").lower()
+        if any(marker in label or marker in category for marker in markers):
+            pruned.remove_task(task, reconnect=True)
+    pruned.validate()
+    return pruned

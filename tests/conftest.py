@@ -1,0 +1,106 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build small, fully deterministic objects (workflows, clusters,
+mappings, instances) that are reused across many test modules.  Anything
+randomised receives a fixed seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carbon.intervals import PowerProfile
+from repro.mapping.enhanced_dag import build_enhanced_dag
+from repro.mapping.heft import heft_mapping
+from repro.mapping.mapping import Mapping
+from repro.platform_.presets import single_processor_cluster, uniform_cluster
+from repro.platform_.processor import ProcessorSpec
+from repro.platform_.cluster import Cluster
+from repro.schedule.asap import asap_makespan
+from repro.schedule.instance import ProblemInstance
+from repro.workflow.dag import Workflow
+
+
+# --------------------------------------------------------------------------- #
+# Workflows
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def diamond_workflow_fixed() -> Workflow:
+    """A 4-task diamond with fixed weights: a -> {b, c} -> d."""
+    wf = Workflow("diamond-fixed")
+    wf.add_task("a", work=2)
+    wf.add_task("b", work=3)
+    wf.add_task("c", work=1)
+    wf.add_task("d", work=2)
+    wf.add_dependency("a", "b", data=1)
+    wf.add_dependency("a", "c", data=2)
+    wf.add_dependency("b", "d", data=1)
+    wf.add_dependency("c", "d", data=1)
+    return wf
+
+
+@pytest.fixture
+def chain_workflow_fixed() -> Workflow:
+    """A 4-task chain with fixed weights 2, 3, 1, 2."""
+    wf = Workflow("chain-fixed")
+    works = [2, 3, 1, 2]
+    for index, work in enumerate(works):
+        wf.add_task(f"t{index}", work=work)
+    for index in range(len(works) - 1):
+        wf.add_dependency(f"t{index}", f"t{index + 1}", data=0)
+    return wf
+
+
+# --------------------------------------------------------------------------- #
+# Clusters
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def two_proc_cluster() -> Cluster:
+    """Two identical unit-speed processors with Pidle=1, Pwork=2."""
+    return uniform_cluster(2, speed=1.0, p_idle=1, p_work=2, name="two")
+
+
+@pytest.fixture
+def hetero_cluster() -> Cluster:
+    """A small heterogeneous cluster with three distinct processor types."""
+    return Cluster(
+        [
+            ProcessorSpec("slow", speed=1, p_idle=1, p_work=2, proc_type="PT1"),
+            ProcessorSpec("mid", speed=2, p_idle=2, p_work=4, proc_type="PT2"),
+            ProcessorSpec("fast", speed=4, p_idle=4, p_work=8, proc_type="PT3"),
+        ],
+        name="hetero",
+    )
+
+
+@pytest.fixture
+def single_cluster() -> Cluster:
+    """A single unit-speed processor with Pidle=1, Pwork=3."""
+    return single_processor_cluster(p_idle=1, p_work=3)
+
+
+# --------------------------------------------------------------------------- #
+# Instances
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def tiny_multi_instance(diamond_workflow_fixed, two_proc_cluster) -> ProblemInstance:
+    """A small two-processor instance with a hand-made profile."""
+    heft = heft_mapping(diamond_workflow_fixed, two_proc_cluster)
+    dag = build_enhanced_dag(heft.mapping, rng=0)
+    tight = asap_makespan(dag)
+    deadline = 2 * tight
+    profile = PowerProfile([deadline // 2, deadline - deadline // 2], [3, 8])
+    return ProblemInstance(dag, profile, name="tiny-multi")
+
+
+@pytest.fixture
+def tiny_single_instance(chain_workflow_fixed, single_cluster) -> ProblemInstance:
+    """A single-processor chain instance with a 4-interval profile."""
+    assignment = {task: "p0" for task in chain_workflow_fixed.tasks()}
+    mapping = Mapping(chain_workflow_fixed, single_cluster, assignment)
+    dag = build_enhanced_dag(mapping, rng=0)
+    tight = asap_makespan(dag)
+    deadline = 2 * tight
+    lengths = [deadline // 4] * 3 + [deadline - 3 * (deadline // 4)]
+    profile = PowerProfile(lengths, [1, 4, 2, 4])
+    return ProblemInstance(dag, profile, name="tiny-single")

@@ -1,0 +1,150 @@
+"""Tests for PowerProfile and Interval."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.carbon.intervals import Interval, PowerProfile
+from repro.utils.errors import InvalidProfileError
+
+
+class TestInterval:
+    def test_length(self):
+        assert Interval(3, 8, 5).length == 5
+
+    def test_invalid_length(self):
+        with pytest.raises(InvalidProfileError):
+            Interval(5, 5, 1)
+
+    def test_negative_budget(self):
+        with pytest.raises(InvalidProfileError):
+            Interval(0, 5, -1)
+
+    def test_equality_and_hash(self):
+        assert Interval(0, 5, 2) == Interval(0, 5, 2)
+        assert len({Interval(0, 5, 2), Interval(0, 5, 2)}) == 1
+
+
+class TestPowerProfileConstruction:
+    def test_basic(self):
+        profile = PowerProfile([5, 5], [10, 2])
+        assert profile.horizon == 10
+        assert profile.num_intervals == 2
+        assert profile.boundaries() == [0, 5, 10]
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(InvalidProfileError):
+            PowerProfile([5, 5], [10])
+
+    def test_empty(self):
+        with pytest.raises(InvalidProfileError):
+            PowerProfile([], [])
+
+    def test_non_positive_length(self):
+        with pytest.raises(InvalidProfileError):
+            PowerProfile([5, 0], [1, 1])
+
+    def test_from_boundaries(self):
+        profile = PowerProfile.from_boundaries([0, 3, 10], [4, 7])
+        assert [iv.length for iv in profile] == [3, 7]
+        assert profile.budget_at(5) == 7
+
+    def test_from_boundaries_must_start_at_zero(self):
+        with pytest.raises(InvalidProfileError):
+            PowerProfile.from_boundaries([1, 5], [2])
+
+    def test_constant(self):
+        profile = PowerProfile.constant(20, 6)
+        assert profile.num_intervals == 1
+        assert profile.budget_at(19) == 6
+
+    def test_from_time_unit_budgets_merges_runs(self):
+        profile = PowerProfile.from_time_unit_budgets([3, 3, 3, 1, 1, 4])
+        assert profile.num_intervals == 3
+        assert [iv.length for iv in profile] == [3, 2, 1]
+        assert [iv.budget for iv in profile] == [3, 1, 4]
+
+
+class TestPowerProfileAccessors:
+    @pytest.fixture
+    def profile(self) -> PowerProfile:
+        return PowerProfile([4, 3, 3], [5, 1, 8])
+
+    def test_budget_at(self, profile):
+        assert profile.budget_at(0) == 5
+        assert profile.budget_at(3) == 5
+        assert profile.budget_at(4) == 1
+        assert profile.budget_at(9) == 8
+
+    def test_budget_at_out_of_range(self, profile):
+        with pytest.raises(InvalidProfileError):
+            profile.budget_at(10)
+        with pytest.raises(InvalidProfileError):
+            profile.budget_at(-1)
+
+    def test_interval_index_at(self, profile):
+        assert profile.interval_index_at(0) == 0
+        assert profile.interval_index_at(6) == 1
+        assert profile.interval_index_at(7) == 2
+
+    def test_budgets_per_time_unit(self, profile):
+        budgets = profile.budgets_per_time_unit()
+        assert budgets.shape == (10,)
+        assert list(budgets) == [5, 5, 5, 5, 1, 1, 1, 8, 8, 8]
+
+    def test_total_green_energy(self, profile):
+        assert profile.total_green_energy() == 4 * 5 + 3 * 1 + 3 * 8
+
+    def test_min_max_budget(self, profile):
+        assert profile.min_budget() == 1
+        assert profile.max_budget() == 8
+
+    def test_iteration_and_len(self, profile):
+        assert len(profile) == 3
+        assert [iv.budget for iv in profile] == [5, 1, 8]
+
+
+class TestPowerProfileTransformations:
+    @pytest.fixture
+    def profile(self) -> PowerProfile:
+        return PowerProfile([4, 3, 3], [5, 1, 8])
+
+    def test_restricted(self, profile):
+        shorter = profile.restricted(6)
+        assert shorter.horizon == 6
+        assert shorter.num_intervals == 2
+        assert shorter.budget_at(5) == 1
+
+    def test_restricted_beyond_horizon_rejected(self, profile):
+        with pytest.raises(InvalidProfileError):
+            profile.restricted(11)
+
+    def test_extended(self, profile):
+        longer = profile.extended(15, budget=2)
+        assert longer.horizon == 15
+        assert longer.budget_at(12) == 2
+        # Prefix budgets unchanged.
+        assert list(longer.budgets_per_time_unit()[:10]) == list(
+            profile.budgets_per_time_unit()
+        )
+
+    def test_extended_same_horizon_is_copy(self, profile):
+        same = profile.extended(10)
+        assert same == profile
+
+    def test_extended_shorter_rejected(self, profile):
+        with pytest.raises(InvalidProfileError):
+            profile.extended(5)
+
+    def test_refined_preserves_budget_staircase(self, profile):
+        refined = profile.refined([2, 5, 8, 8, 200, -3])
+        assert refined.horizon == profile.horizon
+        assert np.array_equal(
+            refined.budgets_per_time_unit(), profile.budgets_per_time_unit()
+        )
+        assert refined.num_intervals > profile.num_intervals
+
+    def test_equality(self, profile):
+        assert profile == PowerProfile([4, 3, 3], [5, 1, 8])
+        assert profile != PowerProfile([4, 3, 3], [5, 1, 9])

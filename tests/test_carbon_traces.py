@@ -1,0 +1,100 @@
+"""Tests for carbon-intensity traces and their conversion to profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carbon.traces import (
+    SYNTHETIC_TRACE_PROFILES,
+    CarbonIntensityTrace,
+    profile_from_trace,
+    synthetic_daily_trace,
+)
+from repro.utils.errors import InvalidProfileError
+
+
+class TestCarbonIntensityTrace:
+    def test_basic_properties(self):
+        trace = CarbonIntensityTrace((100.0, 200.0, 50.0), sample_duration=2)
+        assert trace.num_samples == 3
+        assert trace.duration == 6
+
+    def test_intensity_at_with_sample_duration(self):
+        trace = CarbonIntensityTrace((100.0, 200.0), sample_duration=3)
+        assert trace.intensity_at(0) == 100.0
+        assert trace.intensity_at(2) == 100.0
+        assert trace.intensity_at(3) == 200.0
+
+    def test_intensity_cyclic_beyond_end(self):
+        trace = CarbonIntensityTrace((10.0, 20.0), sample_duration=1)
+        assert trace.intensity_at(2) == 10.0
+        assert trace.intensity_at(5) == 20.0
+
+    def test_normalised_range(self):
+        trace = CarbonIntensityTrace((100.0, 300.0, 200.0))
+        normalised = trace.normalised()
+        assert normalised[0] == 0.0
+        assert normalised[1] == 1.0
+        assert 0.0 < normalised[2] < 1.0
+
+    def test_normalised_constant_trace(self):
+        trace = CarbonIntensityTrace((50.0, 50.0))
+        assert trace.normalised() == [0.5, 0.5]
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidProfileError):
+            CarbonIntensityTrace(())
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(InvalidProfileError):
+            CarbonIntensityTrace((10.0, -1.0))
+
+
+class TestSyntheticTraces:
+    def test_all_kinds_have_24_samples(self):
+        for kind in SYNTHETIC_TRACE_PROFILES:
+            trace = synthetic_daily_trace(kind, rng=0)
+            assert trace.num_samples == 24
+
+    def test_solar_is_cleanest_at_noon(self):
+        trace = synthetic_daily_trace("solar", rng=0, noise=0.0)
+        noon = trace.intensities[12]
+        midnight = trace.intensities[0]
+        assert noon < midnight
+
+    def test_nuclear_is_flat_and_low(self):
+        nuclear = synthetic_daily_trace("nuclear", rng=0, noise=0.0)
+        coal = synthetic_daily_trace("coal", rng=0, noise=0.0)
+        assert max(nuclear.intensities) < min(coal.intensities)
+
+    def test_unknown_kind(self):
+        with pytest.raises(InvalidProfileError):
+            synthetic_daily_trace("fusion")
+
+    def test_noise_determinism(self):
+        a = synthetic_daily_trace("wind", rng=3)
+        b = synthetic_daily_trace("wind", rng=3)
+        assert a.intensities == b.intensities
+
+
+class TestProfileFromTrace:
+    def test_budget_inversely_follows_intensity(self):
+        trace = synthetic_daily_trace("solar", rng=0, noise=0.0)
+        profile = profile_from_trace(trace, 24, idle_power=10, work_power=100)
+        budgets = [iv.budget for iv in profile]
+        # Clean noon -> highest budget; dirty night -> lowest.
+        assert budgets[12] == max(budgets)
+        assert budgets[12] >= budgets[0]
+
+    def test_budget_bounds(self):
+        trace = synthetic_daily_trace("wind", rng=1)
+        profile = profile_from_trace(
+            trace, 100, idle_power=7, work_power=50, green_cap=0.8
+        )
+        for interval in profile:
+            assert 7 <= interval.budget <= 7 + 0.8 * 50 + 1
+
+    def test_horizon_respected(self):
+        trace = synthetic_daily_trace("coal", rng=0)
+        profile = profile_from_trace(trace, 37, idle_power=1, work_power=10)
+        assert profile.horizon == 37

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.variants import variant_names
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_schedule_defaults(self):
+        args = build_parser().parse_args(["schedule"])
+        assert args.family == "atacseq"
+        assert args.deadline_factor == 2.0
+        assert args.variants is None
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "--family", "nope"])
+
+
+class TestVariantsCommand:
+    def test_lists_all_variants(self, capsys):
+        assert main(["variants"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out == variant_names()
+
+
+class TestScheduleCommand:
+    def test_schedule_prints_costs(self, capsys):
+        code = main([
+            "schedule", "--family", "bacass", "--tasks", "15",
+            "--scenario", "S1", "--deadline-factor", "1.5", "--seed", "1",
+            "--variants", "ASAP", "pressWR-LS",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ASAP" in out
+        assert "pressWR-LS" in out
+        assert "carbon cost" in out
+
+    def test_schedule_single_cluster(self, capsys):
+        code = main([
+            "schedule", "--family", "chain", "--tasks", "6", "--cluster", "single",
+            "--variants", "ASAP", "slack",
+        ])
+        assert code == 0
+        assert "slack" in capsys.readouterr().out
+
+
+class TestGridCommand:
+    def test_grid_prints_summaries(self, capsys):
+        code = main([
+            "grid", "--families", "bacass", "--sizes", "15",
+            "--scenarios", "S1", "S3", "--deadline-factors", "1.5",
+            "--variants", "ASAP", "pressWR-LS", "slackWR-LS", "--seed", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ranked first" in out
+        assert "median cost ratio" in out or "pressWR-LS" in out

@@ -1,0 +1,69 @@
+"""Tests for the interval subdivision of the refined greedy variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.subdivision import (
+    block_alignment_points,
+    original_subdivision,
+    refined_subdivision,
+)
+
+
+class TestOriginalSubdivision:
+    def test_matches_profile_boundaries(self, tiny_multi_instance):
+        points = original_subdivision(tiny_multi_instance.profile)
+        expected = [iv.begin for iv in tiny_multi_instance.profile.intervals()]
+        assert points == expected
+
+    def test_starts_at_zero(self, tiny_multi_instance):
+        assert original_subdivision(tiny_multi_instance.profile)[0] == 0
+
+
+class TestBlockAlignmentPoints:
+    def test_points_within_horizon(self, tiny_multi_instance):
+        points = block_alignment_points(tiny_multi_instance)
+        assert all(0 <= p < tiny_multi_instance.deadline for p in points)
+
+    def test_contains_boundary_starts(self, tiny_multi_instance):
+        # A block of size 1 aligned to an interval start yields exactly that
+        # start point (when it fits), so interval begins must be included.
+        points = block_alignment_points(tiny_multi_instance)
+        begins = {iv.begin for iv in tiny_multi_instance.profile.intervals()}
+        assert begins & points
+
+    def test_larger_block_size_never_removes_points(self, tiny_multi_instance):
+        small = block_alignment_points(tiny_multi_instance, block_size=1)
+        large = block_alignment_points(tiny_multi_instance, block_size=3)
+        assert small <= large
+
+    def test_invalid_block_size(self, tiny_multi_instance):
+        with pytest.raises(ValueError):
+            block_alignment_points(tiny_multi_instance, block_size=0)
+
+    def test_end_alignment_present(self, tiny_single_instance):
+        """A single task aligned to end at a boundary contributes boundary - duration."""
+        dag = tiny_single_instance.dag
+        chain = dag.tasks_on(dag.processors_with_tasks()[0])
+        first_duration = dag.duration(chain[0])
+        points = block_alignment_points(tiny_single_instance, block_size=1)
+        boundary = tiny_single_instance.profile.boundaries()[1]
+        if boundary - first_duration >= 0:
+            assert boundary - first_duration in points
+
+
+class TestRefinedSubdivision:
+    def test_superset_of_original(self, tiny_multi_instance):
+        refined = set(refined_subdivision(tiny_multi_instance))
+        original = set(original_subdivision(tiny_multi_instance.profile))
+        assert original <= refined
+
+    def test_sorted_and_unique(self, tiny_multi_instance):
+        refined = refined_subdivision(tiny_multi_instance)
+        assert refined == sorted(set(refined))
+
+    def test_refined_is_finer(self, tiny_multi_instance):
+        refined = refined_subdivision(tiny_multi_instance)
+        original = original_subdivision(tiny_multi_instance.profile)
+        assert len(refined) >= len(original)

@@ -1,0 +1,63 @@
+"""Tests for the variant registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.variants import (
+    ALL_VARIANTS,
+    BASELINE,
+    GREEDY_VARIANTS,
+    LS_VARIANTS,
+    get_variant,
+    variant_names,
+)
+from repro.utils.errors import CaWoSchedError
+
+
+class TestRegistry:
+    def test_counts(self):
+        assert len(GREEDY_VARIANTS) == 8
+        assert len(LS_VARIANTS) == 8
+        assert len(ALL_VARIANTS) == 17  # 16 heuristics + ASAP
+
+    def test_paper_names_present(self):
+        expected = {
+            "slack", "slackW", "slackR", "slackWR",
+            "press", "pressW", "pressR", "pressWR",
+        }
+        assert expected == set(GREEDY_VARIANTS)
+        assert {f"{name}-LS" for name in expected} == set(LS_VARIANTS)
+
+    def test_baseline(self):
+        assert BASELINE == "ASAP"
+        assert get_variant("ASAP").is_baseline
+
+    def test_spec_flags(self):
+        spec = get_variant("pressWR-LS")
+        assert spec.base == "pressure"
+        assert spec.weighted and spec.refined and spec.local_search
+        spec = get_variant("slack")
+        assert spec.base == "slack"
+        assert not (spec.weighted or spec.refined or spec.local_search)
+
+    def test_unknown_variant(self):
+        with pytest.raises(CaWoSchedError):
+            get_variant("slackWRX")
+
+
+class TestVariantNames:
+    def test_default_includes_everything(self):
+        names = variant_names()
+        assert names[0] == "ASAP"
+        assert len(names) == 17
+
+    def test_only_local_search(self):
+        names = variant_names(only_local_search=True)
+        assert len(names) == 9  # ASAP + 8 LS
+        assert all(name.endswith("-LS") or name == "ASAP" for name in names)
+
+    def test_without_baseline(self):
+        names = variant_names(include_baseline=False)
+        assert "ASAP" not in names
+        assert len(names) == 16

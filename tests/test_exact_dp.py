@@ -1,0 +1,105 @@
+"""Tests for the single-processor dynamic program."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carbon.intervals import PowerProfile
+from repro.exact.brute import brute_force_optimal
+from repro.exact.dp_single import (
+    candidate_end_times,
+    dp_single_processor,
+    single_processor_task_chain,
+)
+from repro.schedule.cost import carbon_cost
+from repro.schedule.validation import is_feasible
+from repro.utils.errors import SolverError
+
+
+class TestTaskChain:
+    def test_chain_extraction(self, tiny_single_instance):
+        chain = single_processor_task_chain(tiny_single_instance)
+        assert len(chain) == tiny_single_instance.num_tasks
+        assert chain == ["t0", "t1", "t2", "t3"]
+
+    def test_multi_processor_rejected(self, tiny_multi_instance):
+        with pytest.raises(SolverError):
+            single_processor_task_chain(tiny_multi_instance)
+
+
+class TestCandidateEndTimes:
+    def test_pseudo_polynomial_covers_all_end_times(self, tiny_single_instance):
+        chain = single_processor_task_chain(tiny_single_instance)
+        candidates = candidate_end_times(tiny_single_instance, chain, polynomial=False)
+        # The first task (duration 2) can end anywhere in [2, T].
+        assert min(candidates[0]) == 2
+        assert max(candidates[0]) == tiny_single_instance.deadline
+
+    def test_polynomial_candidates_are_subset(self, tiny_single_instance):
+        chain = single_processor_task_chain(tiny_single_instance)
+        polynomial = candidate_end_times(tiny_single_instance, chain, polynomial=True)
+        pseudo = candidate_end_times(tiny_single_instance, chain, polynomial=False)
+        for poly_set, pseudo_set in zip(polynomial, pseudo):
+            assert poly_set <= pseudo_set
+
+    def test_candidates_never_empty(self, tiny_single_instance):
+        chain = single_processor_task_chain(tiny_single_instance)
+        for candidates in candidate_end_times(tiny_single_instance, chain):
+            assert candidates
+
+
+class TestOptimality:
+    def test_polynomial_equals_pseudo_polynomial(self, tiny_single_instance):
+        poly = dp_single_processor(tiny_single_instance, polynomial=True)
+        pseudo = dp_single_processor(tiny_single_instance, polynomial=False)
+        assert carbon_cost(poly) == carbon_cost(pseudo)
+
+    def test_matches_brute_force(self, tiny_single_instance):
+        dp = dp_single_processor(tiny_single_instance)
+        brute = brute_force_optimal(tiny_single_instance)
+        assert carbon_cost(dp) == carbon_cost(brute)
+
+    def test_schedules_are_feasible(self, tiny_single_instance):
+        assert is_feasible(dp_single_processor(tiny_single_instance))
+        assert is_feasible(dp_single_processor(tiny_single_instance, polynomial=False))
+
+    def test_multi_processor_rejected(self, tiny_multi_instance):
+        with pytest.raises(SolverError):
+            dp_single_processor(tiny_multi_instance)
+
+    def test_tight_deadline(self, tiny_single_instance):
+        """With deadline == total work the only schedule is back-to-back."""
+        from repro.schedule.instance import ProblemInstance
+
+        dag = tiny_single_instance.dag
+        total = dag.critical_path_duration()
+        profile = PowerProfile([total], [2])
+        instance = ProblemInstance(dag, profile)
+        schedule = dp_single_processor(instance)
+        assert schedule.makespan == total
+        assert carbon_cost(schedule) == carbon_cost(brute_force_optimal(instance))
+
+    def test_prefers_green_interval(self):
+        """A single task must be placed in the interval with enough budget."""
+        from repro.mapping.enhanced_dag import build_enhanced_dag
+        from repro.mapping.mapping import Mapping
+        from repro.platform_.presets import single_processor_cluster
+        from repro.schedule.instance import ProblemInstance
+        from repro.workflow.dag import Workflow
+
+        wf = Workflow("one")
+        wf.add_task("t", work=3)
+        cluster = single_processor_cluster(p_idle=0, p_work=4)
+        dag = build_enhanced_dag(Mapping(wf, cluster, {"t": "p0"}), rng=0)
+        profile = PowerProfile([5, 5, 5], [0, 4, 0])
+        instance = ProblemInstance(dag, profile)
+        schedule = dp_single_processor(instance)
+        assert carbon_cost(schedule) == 0
+        assert 5 <= schedule.start("t") <= 7
+
+    def test_algorithm_labels(self, tiny_single_instance):
+        assert dp_single_processor(tiny_single_instance).algorithm == "DP"
+        assert (
+            dp_single_processor(tiny_single_instance, polynomial=False).algorithm
+            == "DP-pseudo"
+        )

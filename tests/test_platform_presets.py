@@ -1,0 +1,77 @@
+"""Tests for the Table 1 cluster presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform_.presets import (
+    PROCESSOR_TYPES,
+    cluster_from_table1,
+    large_cluster,
+    scaled_large_cluster,
+    scaled_small_cluster,
+    single_processor_cluster,
+    small_cluster,
+    table1_rows,
+    uniform_cluster,
+)
+
+
+class TestTable1:
+    def test_six_types(self):
+        assert len(PROCESSOR_TYPES) == 6
+
+    def test_exact_values_from_paper(self):
+        rows = {row["Processor Name"]: row for row in table1_rows()}
+        assert rows["PT1"] == {
+            "Processor Name": "PT1", "Speed": 4, "Pidle": 40, "Pwork": 10,
+            "small": 12, "large": 24,
+        }
+        assert rows["PT6"]["Speed"] == 32
+        assert rows["PT6"]["Pidle"] == 200
+        assert rows["PT6"]["Pwork"] == 100
+
+    def test_speed_and_power_monotonic(self):
+        speeds = [pt.speed for pt in PROCESSOR_TYPES]
+        idles = [pt.p_idle for pt in PROCESSOR_TYPES]
+        assert speeds == sorted(speeds)
+        assert idles == sorted(idles)
+
+
+class TestClusters:
+    def test_small_cluster_size(self):
+        assert small_cluster().num_processors == 72
+
+    def test_large_cluster_size(self):
+        assert large_cluster().num_processors == 144
+
+    def test_scaled_clusters(self):
+        assert scaled_small_cluster().num_processors == 12
+        assert scaled_large_cluster().num_processors == 24
+        assert scaled_small_cluster(1).num_processors == 6
+
+    def test_cluster_from_table1_types(self):
+        cluster = cluster_from_table1(2)
+        groups = cluster.by_type()
+        assert set(groups) == {pt.name for pt in PROCESSOR_TYPES}
+        assert all(len(group) == 2 for group in groups.values())
+
+    def test_invalid_nodes_per_type(self):
+        with pytest.raises(ValueError):
+            cluster_from_table1(0)
+
+    def test_uniform_cluster(self):
+        cluster = uniform_cluster(4, p_idle=0, p_work=1)
+        assert cluster.num_processors == 4
+        assert cluster.total_idle_power() == 0
+        assert cluster.total_work_power() == 4
+
+    def test_single_processor_cluster(self):
+        cluster = single_processor_cluster(p_idle=2, p_work=5)
+        assert cluster.num_processors == 1
+        assert cluster.processors()[0].p_work == 5
+
+    def test_cluster_names(self):
+        assert small_cluster().name == "small"
+        assert large_cluster().name == "large"
+        assert scaled_small_cluster().name == "small"

@@ -1,0 +1,88 @@
+"""Tests for the Schedule value object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schedule.asap import asap_schedule, earliest_start_times
+from repro.schedule.schedule import Schedule
+from repro.utils.errors import InvalidScheduleError
+
+
+class TestScheduleConstruction:
+    def test_from_est(self, tiny_multi_instance):
+        est = earliest_start_times(tiny_multi_instance.dag)
+        schedule = Schedule(tiny_multi_instance, est, algorithm="test")
+        assert schedule.algorithm == "test"
+        assert len(schedule) == tiny_multi_instance.num_tasks
+
+    def test_missing_task_rejected(self, tiny_multi_instance):
+        est = earliest_start_times(tiny_multi_instance.dag)
+        est.pop(next(iter(est)))
+        with pytest.raises(InvalidScheduleError):
+            Schedule(tiny_multi_instance, est)
+
+    def test_extra_task_rejected(self, tiny_multi_instance):
+        est = earliest_start_times(tiny_multi_instance.dag)
+        est["ghost-task"] = 0
+        with pytest.raises(InvalidScheduleError):
+            Schedule(tiny_multi_instance, est)
+
+    def test_negative_start_rejected(self, tiny_multi_instance):
+        est = earliest_start_times(tiny_multi_instance.dag)
+        est[next(iter(est))] = -1
+        with pytest.raises(InvalidScheduleError):
+            Schedule(tiny_multi_instance, est)
+
+
+class TestScheduleAccessors:
+    def test_start_finish_duration_relation(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        dag = tiny_multi_instance.dag
+        for node in dag.nodes():
+            assert schedule.finish(node) == schedule.start(node) + dag.duration(node)
+
+    def test_makespan(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        assert schedule.makespan == max(schedule.finish(n) for n in schedule)
+
+    def test_meets_deadline(self, tiny_multi_instance):
+        assert asap_schedule(tiny_multi_instance).meets_deadline()
+
+    def test_unknown_task_raises(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        with pytest.raises(InvalidScheduleError):
+            schedule.start("ghost")
+
+    def test_start_times_returns_copy(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        times = schedule.start_times()
+        node = next(iter(times))
+        times[node] += 1000
+        assert schedule.start(node) != times[node]
+
+
+class TestScheduleCopy:
+    def test_copy_equal_but_independent(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        clone = schedule.copy(algorithm="clone")
+        assert clone == schedule  # equality ignores the algorithm label
+        assert clone.algorithm == "clone"
+
+    def test_with_start(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        node = next(iter(schedule))
+        moved = schedule.with_start(node, schedule.start(node) + 1)
+        assert moved.start(node) == schedule.start(node) + 1
+        assert moved != schedule
+
+    def test_with_start_unknown_task(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        with pytest.raises(InvalidScheduleError):
+            schedule.with_start("ghost", 3)
+
+    def test_contains_and_iter(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        for node in tiny_multi_instance.dag.nodes():
+            assert node in schedule
+        assert set(iter(schedule)) == set(tiny_multi_instance.dag.nodes())

@@ -1,0 +1,122 @@
+"""Tests for the mutable PowerTimeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schedule.asap import asap_schedule
+from repro.schedule.cost import carbon_cost
+from repro.schedule.timeline import PowerTimeline
+from repro.utils.errors import InvalidScheduleError
+
+
+class TestPlacement:
+    def test_total_cost_matches_cost_evaluator(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        timeline = PowerTimeline(tiny_multi_instance, schedule)
+        assert timeline.total_cost() == carbon_cost(schedule)
+
+    def test_empty_timeline_cost_is_idle_only(self, tiny_multi_instance):
+        timeline = PowerTimeline(tiny_multi_instance)
+        idle = tiny_multi_instance.total_idle_power()
+        budgets = tiny_multi_instance.profile.budgets_per_time_unit()
+        expected = int(sum(max(idle - b, 0) for b in budgets))
+        assert timeline.total_cost() == expected
+
+    def test_place_remove_roundtrip(self, tiny_multi_instance):
+        timeline = PowerTimeline(tiny_multi_instance)
+        baseline = timeline.total_cost()
+        node = tiny_multi_instance.dag.nodes()[0]
+        timeline.place(node, 0)
+        timeline.remove(node)
+        assert timeline.total_cost() == baseline
+
+    def test_double_place_rejected(self, tiny_multi_instance):
+        timeline = PowerTimeline(tiny_multi_instance)
+        node = tiny_multi_instance.dag.nodes()[0]
+        timeline.place(node, 0)
+        with pytest.raises(InvalidScheduleError):
+            timeline.place(node, 1)
+
+    def test_remove_unplaced_rejected(self, tiny_multi_instance):
+        timeline = PowerTimeline(tiny_multi_instance)
+        with pytest.raises(InvalidScheduleError):
+            timeline.remove(tiny_multi_instance.dag.nodes()[0])
+
+    def test_place_outside_horizon_rejected(self, tiny_multi_instance):
+        timeline = PowerTimeline(tiny_multi_instance)
+        node = tiny_multi_instance.dag.nodes()[0]
+        with pytest.raises(InvalidScheduleError):
+            timeline.place(node, tiny_multi_instance.deadline)
+
+    def test_start_of_and_is_placed(self, tiny_multi_instance):
+        timeline = PowerTimeline(tiny_multi_instance)
+        node = tiny_multi_instance.dag.nodes()[0]
+        assert not timeline.is_placed(node)
+        timeline.place(node, 3)
+        assert timeline.is_placed(node)
+        assert timeline.start_of(node) == 3
+
+
+class TestMoves:
+    def test_move_changes_start(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        timeline = PowerTimeline(tiny_multi_instance, schedule)
+        node = tiny_multi_instance.dag.nodes()[0]
+        new_start = min(
+            tiny_multi_instance.deadline - tiny_multi_instance.dag.duration(node),
+            schedule.start(node) + 1,
+        )
+        timeline.move(node, new_start)
+        assert timeline.start_of(node) == new_start
+
+    def test_move_gain_is_consistent_with_total_cost(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        timeline = PowerTimeline(tiny_multi_instance, schedule)
+        dag = tiny_multi_instance.dag
+        for node in dag.nodes():
+            current = timeline.start_of(node)
+            candidate = min(
+                tiny_multi_instance.deadline - dag.duration(node), current + 2
+            )
+            if candidate == current:
+                continue
+            before = timeline.total_cost()
+            gain = timeline.move_gain(node, candidate)
+            # The timeline must be unchanged by move_gain ...
+            assert timeline.total_cost() == before
+            assert timeline.start_of(node) == current
+            # ... and the gain must equal the actual cost difference.
+            timeline.move(node, candidate)
+            after = timeline.total_cost()
+            assert before - after == gain
+            timeline.move(node, current)
+
+    def test_move_gain_zero_for_same_start(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        timeline = PowerTimeline(tiny_multi_instance, schedule)
+        node = tiny_multi_instance.dag.nodes()[0]
+        assert timeline.move_gain(node, timeline.start_of(node)) == 0
+
+    def test_move_gain_outside_horizon_rejected(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        timeline = PowerTimeline(tiny_multi_instance, schedule)
+        node = tiny_multi_instance.dag.nodes()[0]
+        with pytest.raises(InvalidScheduleError):
+            timeline.move_gain(node, tiny_multi_instance.deadline)
+
+
+class TestAsSchedule:
+    def test_roundtrip_through_schedule(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        timeline = PowerTimeline(tiny_multi_instance, schedule)
+        rebuilt = timeline.as_schedule(algorithm="rebuilt")
+        assert rebuilt.start_times() == schedule.start_times()
+        assert rebuilt.algorithm == "rebuilt"
+
+    def test_segment_cost_clipping(self, tiny_multi_instance):
+        timeline = PowerTimeline(tiny_multi_instance, asap_schedule(tiny_multi_instance))
+        assert timeline.segment_cost(-10, 0) == 0
+        assert timeline.segment_cost(5, 5) == 0
+        total = timeline.segment_cost(0, tiny_multi_instance.deadline)
+        assert total == timeline.total_cost()

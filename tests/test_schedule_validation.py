@@ -1,0 +1,62 @@
+"""Tests for schedule feasibility checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schedule.asap import asap_schedule
+from repro.schedule.validation import check_schedule, feasibility_violations, is_feasible
+from repro.utils.errors import InfeasibleScheduleError
+
+
+class TestFeasibleSchedules:
+    def test_asap_is_feasible(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        assert is_feasible(schedule)
+        assert feasibility_violations(schedule) == []
+        check_schedule(schedule)  # must not raise
+
+
+class TestInfeasibleSchedules:
+    def test_precedence_violation_detected(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        dag = tiny_multi_instance.dag
+        # Pick an edge and move the target before the source's finish.
+        source, target = dag.edges()[0]
+        broken = schedule.with_start(target, schedule.start(source))
+        assert not is_feasible(broken)
+        with pytest.raises(InfeasibleScheduleError):
+            check_schedule(broken)
+
+    def test_deadline_violation_detected(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        dag = tiny_multi_instance.dag
+        # Find a sink node and push it past the deadline.
+        sink = next(n for n in dag.nodes() if not dag.successors(n))
+        broken = schedule.with_start(sink, tiny_multi_instance.deadline)
+        violations = feasibility_violations(broken)
+        assert any("deadline" in violation for violation in violations)
+
+    def test_overlap_on_processor_detected(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        dag = tiny_multi_instance.dag
+        # Two consecutive tasks on the same processor forced to the same start.
+        processor = next(
+            p for p in dag.processors_with_tasks() if len(dag.tasks_on(p)) >= 2
+        )
+        first, second = dag.tasks_on(processor)[:2]
+        broken = schedule.with_start(second, schedule.start(first))
+        assert not is_feasible(broken)
+
+    def test_violation_limit(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        dag = tiny_multi_instance.dag
+        starts = schedule.start_times()
+        # Break every edge by resetting all starts to zero.
+        broken = schedule
+        for node in starts:
+            broken = broken.with_start(node, 0)
+        all_violations = feasibility_violations(broken)
+        limited = feasibility_violations(broken, limit=1)
+        assert len(limited) == 1
+        assert len(all_violations) >= 1

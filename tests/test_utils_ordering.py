@@ -1,0 +1,76 @@
+"""Tests for the topological-order helpers."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.utils.errors import CyclicWorkflowError
+from repro.utils.ordering import (
+    ancestors_closure,
+    descendants_closure,
+    is_topological_order,
+    topological_order,
+)
+
+
+def make_diamond() -> nx.DiGraph:
+    graph = nx.DiGraph()
+    graph.add_edges_from([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+    return graph
+
+
+class TestTopologicalOrder:
+    def test_valid_order(self):
+        graph = make_diamond()
+        order = topological_order(graph)
+        assert is_topological_order(graph, order)
+
+    def test_deterministic(self):
+        graph = make_diamond()
+        assert topological_order(graph) == topological_order(graph)
+
+    def test_cycle_raises(self):
+        graph = nx.DiGraph([("a", "b"), ("b", "a")])
+        with pytest.raises(CyclicWorkflowError):
+            topological_order(graph)
+
+    def test_empty_graph(self):
+        assert topological_order(nx.DiGraph()) == []
+
+    def test_single_node(self):
+        graph = nx.DiGraph()
+        graph.add_node("only")
+        assert topological_order(graph) == ["only"]
+
+
+class TestIsTopologicalOrder:
+    def test_rejects_wrong_length(self):
+        graph = make_diamond()
+        assert not is_topological_order(graph, ["a", "b", "c"])
+
+    def test_rejects_duplicates(self):
+        graph = make_diamond()
+        assert not is_topological_order(graph, ["a", "a", "b", "d"])
+
+    def test_rejects_edge_violation(self):
+        graph = make_diamond()
+        assert not is_topological_order(graph, ["b", "a", "c", "d"])
+
+    def test_accepts_any_valid_order(self):
+        graph = make_diamond()
+        assert is_topological_order(graph, ["a", "c", "b", "d"])
+
+
+class TestClosures:
+    def test_ancestors(self):
+        graph = make_diamond()
+        assert ancestors_closure(graph, "d") == {"a", "b", "c"}
+
+    def test_descendants(self):
+        graph = make_diamond()
+        assert descendants_closure(graph, "a") == {"b", "c", "d"}
+
+    def test_source_has_no_ancestors(self):
+        graph = make_diamond()
+        assert ancestors_closure(graph, "a") == set()

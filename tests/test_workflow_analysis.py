@@ -1,0 +1,50 @@
+"""Tests for workflow structural analysis."""
+
+from __future__ import annotations
+
+from repro.workflow.analysis import size_class, width_profile, workflow_stats
+from repro.workflow.generators import chain_workflow, fork_join_workflow
+
+
+class TestWorkflowStats:
+    def test_chain_stats(self):
+        wf = chain_workflow(6, weighted=False)
+        stats = workflow_stats(wf)
+        assert stats.num_tasks == 6
+        assert stats.depth == 6
+        assert stats.max_width == 1
+        assert stats.critical_path_work == 6
+
+    def test_forkjoin_stats(self):
+        wf = fork_join_workflow(5, stages=1, weighted=False)
+        stats = workflow_stats(wf)
+        assert stats.max_width == 5
+        assert stats.depth == 3
+        assert stats.num_dependencies == 10
+
+    def test_total_work_matches_workflow(self):
+        wf = chain_workflow(10, rng=1)
+        assert workflow_stats(wf).total_work == wf.total_work()
+
+
+class TestWidthProfile:
+    def test_levels_sum_to_task_count(self):
+        wf = fork_join_workflow(4, stages=3, rng=0)
+        profile = width_profile(wf)
+        assert sum(profile.values()) == wf.number_of_tasks
+
+
+class TestSizeClass:
+    def test_paper_boundaries(self):
+        assert size_class(200) == "small"
+        assert size_class(10000) == "medium"
+        assert size_class(25000) == "large"
+
+    def test_custom_boundaries(self):
+        custom = {"small": (0, 50), "medium": (51, 100), "large": (101, 10**9)}
+        assert size_class(40, boundaries=custom) == "small"
+        assert size_class(80, boundaries=custom) == "medium"
+        assert size_class(500, boundaries=custom) == "large"
+
+    def test_between_paper_classes_is_medium(self):
+        assert size_class(5000) == "medium"

@@ -1,0 +1,111 @@
+"""Tests for .dot import/export and pseudo-task pruning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.errors import InvalidWorkflowError
+from repro.workflow.dot_io import (
+    parse_dot,
+    prune_pseudo_tasks,
+    read_dot,
+    workflow_to_dot,
+    write_dot,
+)
+from repro.workflow.generators import atacseq_like_workflow
+
+
+SAMPLE_DOT = """
+digraph sample {
+    "fastqc" [weight=12, label="FASTQC"];
+    "align" [weight=30];
+    trim;
+    "fastqc" -> trim [data=3];
+    trim -> "align" [weight=5];
+}
+"""
+
+
+class TestParse:
+    def test_basic_parse(self):
+        wf = parse_dot(SAMPLE_DOT)
+        assert wf.name == "sample"
+        assert wf.number_of_tasks == 3
+        assert wf.work("fastqc") == 12
+        assert wf.category("fastqc") == "FASTQC"
+        assert wf.work("trim") == 1  # default
+        assert wf.data("fastqc", "trim") == 3
+        assert wf.data("trim", "align") == 5  # weight= fallback
+
+    def test_implicit_nodes_from_edges(self):
+        wf = parse_dot('digraph g { "a" -> "b"; }')
+        assert wf.number_of_tasks == 2
+
+    def test_rejects_non_digraph(self):
+        with pytest.raises(InvalidWorkflowError):
+            parse_dot("graph g { a -- b; }")
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidWorkflowError):
+            parse_dot("")
+
+    def test_rejects_garbage_statement(self):
+        with pytest.raises(InvalidWorkflowError):
+            parse_dot("digraph g { ]]]invalid[[[ }")
+
+    def test_comments_and_global_attrs_ignored(self):
+        text = """
+        digraph g {
+            // a comment
+            rankdir=LR;
+            node [shape=box];
+            a -> b;
+        }
+        """
+        wf = parse_dot(text)
+        assert wf.number_of_tasks == 2
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_structure(self, tmp_path):
+        original = atacseq_like_workflow(40, rng=1)
+        path = tmp_path / "wf.dot"
+        write_dot(original, path)
+        loaded = read_dot(path)
+        assert set(map(str, loaded.tasks())) == set(map(str, original.tasks()))
+        assert loaded.number_of_dependencies == original.number_of_dependencies
+        for task in original.tasks():
+            assert loaded.work(str(task)) == original.work(task)
+
+    def test_to_dot_contains_all_tasks(self):
+        wf = atacseq_like_workflow(30, rng=0)
+        text = workflow_to_dot(wf)
+        for task in wf.tasks():
+            assert f'"{task}"' in text
+
+
+class TestPruning:
+    def test_prunes_marked_tasks_and_reconnects(self):
+        text = """
+        digraph g {
+            a -> channel_x;
+            channel_x -> b;
+            b -> c;
+        }
+        """
+        wf = parse_dot(text)
+        pruned = prune_pseudo_tasks(wf)
+        assert not pruned.has_task("channel_x")
+        assert pruned.has_dependency("a", "b")
+        assert pruned.has_dependency("b", "c")
+
+    def test_prune_by_category(self):
+        text = 'digraph g { x [label="OPERATOR collect"]; a -> x; x -> b; }'
+        pruned = prune_pseudo_tasks(parse_dot(text))
+        assert not pruned.has_task("x")
+        assert pruned.has_dependency("a", "b")
+
+    def test_prune_no_markers_is_identity(self):
+        wf = atacseq_like_workflow(30, rng=0)
+        pruned = prune_pseudo_tasks(wf, markers=("zzz-not-present",))
+        assert pruned.number_of_tasks == wf.number_of_tasks
