@@ -97,6 +97,22 @@ from repro.core import (
     run_variant,
     variant_names,
 )
+from repro.io import (
+    instance_fingerprint,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_records,
+    save_instance,
+    save_records,
+)
+from repro.service import (
+    ResultCache,
+    ScheduleRequest,
+    ScheduleResponse,
+    SchedulingService,
+    parallel_map,
+)
 
 __version__ = "1.0.0"
 
@@ -162,4 +178,18 @@ __all__ = [
     "run_all_variants",
     "run_variant",
     "variant_names",
+    # io (wire format)
+    "instance_fingerprint",
+    "instance_from_dict",
+    "instance_to_dict",
+    "load_instance",
+    "load_records",
+    "save_instance",
+    "save_records",
+    # service
+    "ResultCache",
+    "ScheduleRequest",
+    "ScheduleResponse",
+    "SchedulingService",
+    "parallel_map",
 ]

@@ -12,7 +12,7 @@ description of this staircase function; schedulers additionally keep mutable
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -41,6 +41,15 @@ class Interval:
     def length(self) -> int:
         """Interval length ``ℓ_j = e_j - b_j``."""
         return self.end - self.begin
+
+    def to_dict(self) -> Dict[str, int]:
+        """Return a JSON-serialisable representation of the interval."""
+        return {"begin": self.begin, "end": self.end, "budget": self.budget}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "Interval":
+        """Rebuild an interval from :meth:`to_dict` output."""
+        return cls(int(data["begin"]), int(data["end"]), int(data["budget"]))
 
     def __iter__(self):
         yield self.begin
@@ -136,6 +145,24 @@ class PowerProfile:
         lengths.append(run)
         values.append(current)
         return cls(lengths, values)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, List[int]]:
+        """Return a JSON-serialisable representation of the profile."""
+        return {
+            "lengths": [iv.length for iv in self._intervals],
+            "budgets": [iv.budget for iv in self._intervals],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Sequence[int]]) -> "PowerProfile":
+        """Rebuild a profile from :meth:`to_dict` output."""
+        return cls(
+            [int(length) for length in data["lengths"]],
+            [int(budget) for budget in data["budgets"]],
+        )
 
     # ------------------------------------------------------------------ #
     # Accessors

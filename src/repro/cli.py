@@ -1,27 +1,39 @@
 """Command-line interface of the CaWoSched reproduction.
 
-Three subcommands cover the everyday uses of the library without writing any
+Six subcommands cover the everyday uses of the library without writing any
 Python:
 
 * ``schedule`` — build one instance (workflow family, size, cluster, scenario,
   deadline factor) and print the carbon cost of the requested algorithm
   variants;
-* ``grid`` — run a small experiment grid and print the headline summaries
-  (rank-1 frequencies and median cost ratios vs ASAP);
+* ``grid`` — run an experiment grid (optionally over ``--jobs N`` parallel
+  workers) and print the headline summaries; ``--out`` writes the raw records
+  as wire-format JSON;
+* ``batch`` — serve a JSON file of scheduling requests through the
+  :class:`~repro.service.service.SchedulingService` (deduplication, result
+  cache, worker pool);
+* ``export`` — build one instance and write it as wire-format JSON;
+* ``import`` — read a wire-format instance file and schedule it;
 * ``variants`` — list the available algorithm variants.
 
 Invoke via ``python -m repro ...`` or the ``cawosched`` console script::
 
     python -m repro schedule --family atacseq --tasks 60 --scenario S1 \\
         --deadline-factor 2.0 --variants ASAP pressWR-LS
-    python -m repro grid --families atacseq eager --sizes 30 --seed 1
+    python -m repro grid --families atacseq eager --sizes 30 --seed 1 \\
+        --jobs 4 --out records.json
+    python -m repro export --family bacass --tasks 20 --out instance.json
+    python -m repro import instance.json --variants ASAP pressWR-LS
+    python -m repro batch requests.json --jobs 4 --out responses.json
     python -m repro variants
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.core.scheduler import CaWoSched
@@ -35,10 +47,29 @@ from repro.experiments.instances import (
 )
 from repro.experiments.metrics import median_cost_ratio, rank_distribution
 from repro.experiments.reporting import format_mapping, format_table
-from repro.experiments.runner import run_grid, run_instance
+from repro.experiments.runner import RunRecord, run_grid, run_instance
+from repro.io.wire import load_instance, save_instance, save_payload, save_records
+from repro.service import ScheduleRequest, SchedulingService
+from repro.utils.errors import CaWoSchedError
 from repro.workflow.generators import WORKFLOW_FAMILIES
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
+    """Add the generated-instance arguments shared by schedule/export."""
+    parser.add_argument("--family", default="atacseq", choices=sorted(WORKFLOW_FAMILIES))
+    parser.add_argument("--tasks", type=int, default=60, help="target workflow size")
+    parser.add_argument("--cluster", default="small", choices=["small", "large", "single"])
+    parser.add_argument("--scenario", default="S1", choices=sorted(DEFAULT_SCENARIOS))
+    parser.add_argument("--deadline-factor", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_scheduler_arguments(parser: argparse.ArgumentParser) -> None:
+    """Add the CaWoSched parameter arguments shared by schedule/import."""
+    parser.add_argument("--block-size", type=int, default=3, help="subdivision block size k")
+    parser.add_argument("--window", type=int, default=10, help="local-search window µ")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,18 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
     schedule = subparsers.add_parser(
         "schedule", help="schedule one generated instance and print the carbon costs"
     )
-    schedule.add_argument("--family", default="atacseq", choices=sorted(WORKFLOW_FAMILIES))
-    schedule.add_argument("--tasks", type=int, default=60, help="target workflow size")
-    schedule.add_argument("--cluster", default="small", choices=["small", "large", "single"])
-    schedule.add_argument("--scenario", default="S1", choices=sorted(DEFAULT_SCENARIOS))
-    schedule.add_argument("--deadline-factor", type=float, default=2.0)
-    schedule.add_argument("--seed", type=int, default=0)
+    _add_instance_arguments(schedule)
     schedule.add_argument(
         "--variants", nargs="+", default=None,
         help="algorithm variants to run (default: all 17)",
     )
-    schedule.add_argument("--block-size", type=int, default=3, help="subdivision block size k")
-    schedule.add_argument("--window", type=int, default=10, help="local-search window µ")
+    _add_scheduler_arguments(schedule)
 
     grid = subparsers.add_parser(
         "grid", help="run a small experiment grid and print summary figures"
@@ -81,13 +106,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--variants", nargs="+", default=None,
         help="algorithm variants to run (default: ASAP + the eight -LS variants)",
     )
+    grid.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel worker processes (default: 1, sequential)",
+    )
+    grid.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the raw run records to PATH as wire-format JSON",
+    )
+
+    batch = subparsers.add_parser(
+        "batch", help="serve a JSON file of scheduling requests through the service"
+    )
+    batch.add_argument(
+        "requests", metavar="REQUESTS_JSON",
+        help="JSON file with a list of requests (each an object with a 'spec' "
+        "or an 'instance' payload, plus optional 'variants' and 'scheduler')",
+    )
+    batch.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel worker processes for uncached requests (default: 1)",
+    )
+    batch.add_argument(
+        "--cache-size", type=int, default=128,
+        help="bound of the LRU result cache (default: 128 entries)",
+    )
+    batch.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the responses to PATH as wire-format JSON",
+    )
+
+    export = subparsers.add_parser(
+        "export", help="build one generated instance and write it as wire-format JSON"
+    )
+    _add_instance_arguments(export)
+    export.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="destination of the wire-format instance JSON",
+    )
+
+    import_ = subparsers.add_parser(
+        "import", help="read a wire-format instance file and schedule it"
+    )
+    import_.add_argument(
+        "path", metavar="INSTANCE_JSON",
+        help="wire-format instance file (e.g. produced by 'export')",
+    )
+    import_.add_argument(
+        "--variants", nargs="+", default=None,
+        help="algorithm variants to run (default: all 17)",
+    )
+    _add_scheduler_arguments(import_)
 
     subparsers.add_parser("variants", help="list the available algorithm variants")
     return parser
 
 
-def _run_schedule(args: argparse.Namespace) -> int:
-    spec = InstanceSpec(
+def _spec_from_args(args: argparse.Namespace) -> InstanceSpec:
+    return InstanceSpec(
         family=args.family,
         num_tasks=args.tasks,
         cluster=args.cluster,
@@ -95,10 +171,9 @@ def _run_schedule(args: argparse.Namespace) -> int:
         deadline_factor=args.deadline_factor,
         seed=args.seed,
     )
-    instance = make_instance(spec)
-    scheduler = CaWoSched(block_size=args.block_size, window=args.window)
-    names = args.variants if args.variants else variant_names()
-    records = run_instance(instance, variants=names, scheduler=scheduler)
+
+
+def _print_cost_table(instance, records: Sequence[RunRecord]) -> None:
     print(f"instance {instance.name}: {instance.num_tasks} tasks, deadline {instance.deadline}")
     rows = [
         [record.variant, record.carbon_cost, record.makespan,
@@ -106,6 +181,14 @@ def _run_schedule(args: argparse.Namespace) -> int:
         for record in sorted(records, key=lambda r: r.carbon_cost)
     ]
     print(format_table(rows, ["variant", "carbon cost", "makespan", "runtime ms"]))
+
+
+def _run_schedule(args: argparse.Namespace) -> int:
+    instance = make_instance(_spec_from_args(args))
+    scheduler = CaWoSched(block_size=args.block_size, window=args.window)
+    names = args.variants if args.variants else variant_names()
+    records = run_instance(instance, variants=names, scheduler=scheduler)
+    _print_cost_table(instance, records)
     return 0
 
 
@@ -119,8 +202,12 @@ def _run_grid(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     names = args.variants if args.variants else variant_names(only_local_search=True)
-    print(f"running {len(specs)} instances × {len(names)} variants ...")
-    records = run_grid(specs, variants=names, master_seed=args.seed)
+    workers = f" over {args.jobs} workers" if args.jobs > 1 else ""
+    print(f"running {len(specs)} instances × {len(names)} variants{workers} ...")
+    records = run_grid(specs, variants=names, master_seed=args.seed, jobs=args.jobs)
+    if args.out:
+        save_records(records, args.out)
+        print(f"wrote {len(records)} records to {args.out}")
 
     ranks = rank_distribution(records, variants=names)
     rank_one = {name: ranks.get(name, {}).get(1, 0.0) for name in names}
@@ -132,6 +219,78 @@ def _run_grid(args: argparse.Namespace) -> int:
     if medians:
         print("\nmedian cost ratio vs ASAP:")
         print(format_mapping(medians, key_header="variant", value_header="median ratio"))
+    return 0
+
+
+def _run_batch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    path = Path(args.requests)
+    if not path.exists():
+        parser.error(f"requests file not found: {path}")
+    try:
+        data = json.loads(path.read_text(encoding="utf8"))
+    except json.JSONDecodeError as exc:
+        parser.error(f"requests file {path} is not valid JSON: {exc}")
+    entries = data.get("requests") if isinstance(data, dict) else data
+    if not isinstance(entries, list) or not entries:
+        parser.error(
+            f"requests file {path} must contain a non-empty list of requests "
+            "(either top-level or under a 'requests' key)"
+        )
+    try:
+        requests = [ScheduleRequest.from_dict(entry) for entry in entries]
+    except CaWoSchedError as exc:
+        parser.error(f"requests file {path}: {exc}")
+
+    if args.cache_size <= 0:
+        parser.error(f"--cache-size must be positive, got {args.cache_size}")
+    service = SchedulingService(cache_size=args.cache_size, jobs=args.jobs)
+    try:
+        responses = service.submit_batch(requests)
+    except CaWoSchedError as exc:
+        parser.error(f"requests file {path}: {exc}")
+
+    rows = []
+    for index, response in enumerate(responses):
+        for record in response.records:
+            rows.append(
+                [index, record.instance, record.variant, record.carbon_cost,
+                 "yes" if response.cached else "no"]
+            )
+    print(format_table(rows, ["request", "instance", "variant", "carbon cost", "cached"]))
+    stats = service.stats()
+    print(
+        f"\n{len(requests)} requests, {stats['computed']} scheduled, "
+        f"{stats['hits']} served from cache "
+        f"(cache {stats['size']}/{stats['max_size']}, {stats['evictions']} evictions)"
+    )
+    if args.out:
+        save_payload("responses", [response.to_dict() for response in responses], args.out)
+        print(f"wrote {len(responses)} responses to {args.out}")
+    return 0
+
+
+def _run_export(args: argparse.Namespace) -> int:
+    instance = make_instance(_spec_from_args(args))
+    save_instance(instance, args.out)
+    print(
+        f"wrote instance {instance.name} ({instance.num_tasks} tasks, "
+        f"deadline {instance.deadline}) to {args.out}"
+    )
+    return 0
+
+
+def _run_import(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    path = Path(args.path)
+    if not path.exists():
+        parser.error(f"instance file not found: {path}")
+    try:
+        instance = load_instance(path)
+    except CaWoSchedError as exc:
+        parser.error(f"instance file {path}: {exc}")
+    scheduler = CaWoSched(block_size=args.block_size, window=args.window)
+    names = args.variants if args.variants else variant_names()
+    records = run_instance(instance, variants=names, scheduler=scheduler)
+    _print_cost_table(instance, records)
     return 0
 
 
@@ -149,6 +308,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_schedule(args)
     if args.command == "grid":
         return _run_grid(args)
+    if args.command == "batch":
+        return _run_batch(args, parser)
+    if args.command == "export":
+        return _run_export(args)
+    if args.command == "import":
+        return _run_import(args, parser)
     if args.command == "variants":
         return _run_variants()
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

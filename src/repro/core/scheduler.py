@@ -84,6 +84,30 @@ class CaWoSched:
         self.validate = bool(validate)
 
     # ------------------------------------------------------------------ #
+    def config_dict(self) -> Dict[str, object]:
+        """Return the scheduler configuration as a plain dictionary.
+
+        Used by the scheduling service and the parallel grid runner to ship
+        the configuration across process boundaries and to fingerprint
+        requests (see :mod:`repro.service`).
+        """
+        return {
+            "block_size": self.block_size,
+            "window": self.window,
+            "validate": self.validate,
+        }
+
+    @classmethod
+    def from_config(cls, config: Optional[Dict[str, object]] = None) -> "CaWoSched":
+        """Rebuild a scheduler from :meth:`config_dict` output."""
+        config = dict(config or {})
+        return cls(
+            block_size=int(config.get("block_size", DEFAULT_BLOCK_SIZE)),
+            window=int(config.get("window", DEFAULT_WINDOW)),
+            validate=bool(config.get("validate", True)),
+        )
+
+    # ------------------------------------------------------------------ #
     def schedule(self, instance: ProblemInstance, variant: str) -> Schedule:
         """Return the schedule produced by *variant* on *instance*."""
         spec = get_variant(variant)

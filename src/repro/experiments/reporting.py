@@ -17,7 +17,9 @@ __all__ = [
     "format_table",
     "format_mapping",
     "records_to_csv",
+    "records_from_csv",
     "write_records_csv",
+    "read_records_csv",
     "format_rank_distribution",
     "format_performance_profiles",
 ]
@@ -76,11 +78,32 @@ def records_to_csv(records: Iterable[RunRecord]) -> str:
     return buffer.getvalue()
 
 
+def records_from_csv(text: str) -> List[RunRecord]:
+    """Parse CSV text produced by :func:`records_to_csv` back into records.
+
+    Field values are coerced to their record types (counts back to ``int``,
+    timings and deadline factors back to ``float``), so a write/read round
+    trip reproduces the original records exactly.
+    """
+    text = text.strip()
+    if not text:
+        return []
+    reader = csv.DictReader(io.StringIO(text))
+    return [RunRecord.from_dict(row) for row in reader]
+
+
 def write_records_csv(records: Iterable[RunRecord], path) -> None:
     """Write run records to a CSV file."""
     from pathlib import Path
 
     Path(path).write_text(records_to_csv(records), encoding="utf8")
+
+
+def read_records_csv(path) -> List[RunRecord]:
+    """Read run records back from a CSV file written by :func:`write_records_csv`."""
+    from pathlib import Path
+
+    return records_from_csv(Path(path).read_text(encoding="utf8"))
 
 
 def format_rank_distribution(distribution: Mapping[str, Mapping[int, float]]) -> str:

@@ -6,13 +6,20 @@ runs the requested algorithm variants on it, and emits one
 (ranks, performance profiles, cost ratios, runtimes — see
 :mod:`repro.experiments.metrics`) operates on lists of these records, which
 keeps the figure generators independent from how the runs were produced.
+
+:func:`run_grid` can fan the grid cells out over a worker pool
+(``jobs=N``): each cell derives its random streams from the master seed and
+its own coordinates only, so the parallel path produces exactly the same
+records as the sequential one (up to wall-clock timings), in the same order.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.scheduler import CaWoSched
 from repro.core.variants import variant_names
@@ -60,6 +67,28 @@ class RunRecord:
             "deadline_factor": self.deadline_factor,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunRecord":
+        """Rebuild a record from :meth:`to_dict` output.
+
+        Values are coerced to their field types, so this also accepts the
+        all-strings rows a CSV reader produces (see
+        :func:`repro.experiments.reporting.read_records_csv`).
+        """
+        return cls(
+            instance=str(data["instance"]),
+            variant=str(data["variant"]),
+            carbon_cost=int(data["carbon_cost"]),
+            runtime_seconds=float(data["runtime_seconds"]),
+            makespan=int(data["makespan"]),
+            deadline=int(data["deadline"]),
+            num_tasks=int(data["num_tasks"]),
+            family=str(data.get("family", "")),
+            cluster=str(data.get("cluster", "")),
+            scenario=str(data.get("scenario", "")),
+            deadline_factor=float(data.get("deadline_factor", 0.0)),
+        )
+
 
 def run_instance(
     instance: ProblemInstance,
@@ -92,6 +121,20 @@ def run_instance(
     return records
 
 
+def _run_cell(
+    job: Tuple[InstanceSpec, Optional[Tuple[str, ...]], Dict[str, object], Optional[int]],
+) -> List[RunRecord]:
+    """Materialise and run one grid cell (worker function of the jobs pool).
+
+    Module-level so that :class:`concurrent.futures.ProcessPoolExecutor` can
+    pickle it; everything it receives and returns is picklable plain data.
+    """
+    spec, variants, scheduler_config, master_seed = job
+    instance = make_instance(spec, master_seed=master_seed)
+    scheduler = CaWoSched.from_config(scheduler_config)
+    return run_instance(instance, variants=variants, scheduler=scheduler)
+
+
 def run_grid(
     specs: Iterable[InstanceSpec],
     *,
@@ -99,6 +142,8 @@ def run_grid(
     scheduler: Optional[CaWoSched] = None,
     master_seed: RNGLike = None,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    executor: str = "process",
 ) -> List[RunRecord]:
     """Run *variants* on every instance of the grid.
 
@@ -111,12 +156,48 @@ def run_grid(
     scheduler:
         Scheduler configuration (block size ``k``, window ``µ``).
     master_seed:
-        Master seed combined with each cell's coordinates.
+        Master seed combined with each cell's coordinates.  For ``jobs > 1``
+        this must be an integer or ``None``: passing a live generator would
+        make the derived streams depend on evaluation order, which a worker
+        pool does not define.
     progress:
         Optional callback receiving a short message per completed instance.
+    jobs:
+        Number of parallel workers.  ``1`` (the default) runs sequentially in
+        this process; ``N > 1`` fans the cells out over a worker pool and
+        produces identical records in the identical order (cells derive their
+        randomness from the master seed and their own coordinates only).
+    executor:
+        Worker pool flavour for ``jobs > 1``: ``"process"`` (default) or
+        ``"thread"``.
     """
     scheduler = scheduler or CaWoSched()
-    records: List[RunRecord] = []
+    specs = list(specs)
+
+    if jobs > 1:
+        if isinstance(master_seed, np.random.Generator):
+            raise ValueError(
+                "run_grid(jobs>1) needs an integer (or None) master_seed; a live "
+                "generator would make results depend on evaluation order"
+            )
+        from repro.service.pool import parallel_map
+
+        jobs_args = [
+            (spec, tuple(variants) if variants is not None else None,
+             scheduler.config_dict(), master_seed)
+            for spec in specs
+        ]
+        records: List[RunRecord] = []
+        for spec, cell_records in zip(
+            specs, parallel_map(_run_cell, jobs_args, jobs=jobs, executor=executor)
+        ):
+            records.extend(cell_records)
+            if progress is not None:
+                elapsed = sum(r.runtime_seconds for r in cell_records)
+                progress(f"{spec.label}: {elapsed:.2f}s")
+        return records
+
+    records = []
     for spec in specs:
         instance = make_instance(spec, master_seed=master_seed)
         started = time.perf_counter()

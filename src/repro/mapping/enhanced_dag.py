@@ -169,6 +169,7 @@ def build_enhanced_dag(
     rng: RNGLike = None,
     bandwidth: float = 1.0,
     link_power_range: Tuple[int, int] = (1, 2),
+    platform: Optional[ExtendedPlatform] = None,
 ) -> EnhancedDAG:
     """Build the communication-enhanced DAG for *mapping*.
 
@@ -184,6 +185,13 @@ def build_enhanced_dag(
     link_power_range:
         Inclusive range from which link ``Pidle`` and ``Pwork`` are drawn
         (the paper uses 1..2).
+    platform:
+        Optional pre-built extended platform.  When given, ``rng``,
+        ``bandwidth`` and ``link_power_range`` are ignored and the platform's
+        link processors are used as-is; it must provide a link processor for
+        every link used by the mapping.  This makes the construction fully
+        deterministic, which the wire format (:mod:`repro.io.wire`) relies on
+        to reconstruct instances exactly.
 
     Returns
     -------
@@ -194,14 +202,26 @@ def build_enhanced_dag(
     if bandwidth <= 0:
         raise InvalidMappingError(f"bandwidth must be positive, got {bandwidth}")
 
-    platform = ExtendedPlatform.for_links(
-        cluster,
-        mapping.used_links(),
-        rng=rng,
-        min_power=link_power_range[0],
-        max_power=link_power_range[1],
-        bandwidth=bandwidth,
-    )
+    if platform is None:
+        platform = ExtendedPlatform.for_links(
+            cluster,
+            mapping.used_links(),
+            rng=rng,
+            min_power=link_power_range[0],
+            max_power=link_power_range[1],
+            bandwidth=bandwidth,
+        )
+    else:
+        if platform.cluster is not cluster and platform.cluster.processors() != cluster.processors():
+            raise InvalidMappingError(
+                "the given platform's cluster does not match the mapping's cluster"
+            )
+        for source_proc, target_proc in mapping.used_links():
+            if not platform.has_processor(link_name(source_proc, target_proc)):
+                raise InvalidMappingError(
+                    f"the given platform is missing the link processor for "
+                    f"{source_proc!r} -> {target_proc!r}"
+                )
 
     graph = nx.DiGraph()
     processor_tasks: Dict[Hashable, List[Hashable]] = {}

@@ -23,6 +23,7 @@ import networkx as nx
 
 from repro.platform_.cluster import Cluster, link_name
 from repro.utils.errors import InvalidMappingError
+from repro.utils.names import decode_name, encode_name
 from repro.workflow.dag import Workflow
 
 __all__ = ["Mapping"]
@@ -159,6 +160,62 @@ class Mapping:
     def processor_order(self) -> Dict[Hashable, List[Hashable]]:
         """Return a copy of the per-processor task ordering."""
         return {proc: list(tasks) for proc, tasks in self._processor_order.items()}
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-serialisable representation of the mapping.
+
+        The workflow, the cluster, the assignment and both orderings are all
+        embedded, so :meth:`from_dict` reconstructs a fully self-contained,
+        re-validated mapping.
+        """
+        return {
+            "workflow": self._workflow.to_dict(),
+            "cluster": self._cluster.to_dict(),
+            "assignment": [
+                [encode_name(task), encode_name(proc)]
+                for task, proc in self._assignment.items()
+            ],
+            "processor_order": [
+                [encode_name(proc), [encode_name(task) for task in tasks]]
+                for proc, tasks in self._processor_order.items()
+            ],
+            "communication_order": [
+                [
+                    [encode_name(link[0]), encode_name(link[1])],
+                    [[encode_name(s), encode_name(t)] for s, t in edges],
+                ]
+                for link, edges in self._communication_order.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: TMapping[str, object]) -> "Mapping":
+        """Rebuild a mapping from :meth:`to_dict` output."""
+        workflow = Workflow.from_dict(data["workflow"])
+        cluster = Cluster.from_dict(data["cluster"])
+        assignment = {
+            decode_name(task): decode_name(proc) for task, proc in data["assignment"]
+        }
+        processor_order = {
+            decode_name(proc): [decode_name(task) for task in tasks]
+            for proc, tasks in data["processor_order"]
+        }
+        communication_order = {
+            (decode_name(link[0]), decode_name(link[1])): [
+                (decode_name(s), decode_name(t)) for s, t in edges
+            ]
+            for link, edges in data["communication_order"]
+        }
+        return cls(
+            workflow,
+            cluster,
+            assignment,
+            processor_order=processor_order,
+            communication_order=communication_order,
+        )
 
     # ------------------------------------------------------------------ #
     # Canonical orders

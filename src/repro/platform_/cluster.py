@@ -93,6 +93,21 @@ class Cluster:
         """Return the processor with the highest speed (ties: first declared)."""
         return max(self._processors.values(), key=lambda p: p.speed)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-serialisable representation of the cluster."""
+        return {
+            "name": self._name,
+            "processors": [spec.to_dict() for spec in self._processors.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Cluster":
+        """Rebuild a cluster from :meth:`to_dict` output."""
+        return cls(
+            [ProcessorSpec.from_dict(entry) for entry in data["processors"]],
+            name=str(data.get("name", "cluster")),
+        )
+
     def by_type(self) -> Dict[str, List[ProcessorSpec]]:
         """Group processors by their ``proc_type`` label."""
         groups: Dict[str, List[ProcessorSpec]] = {}
@@ -239,6 +254,21 @@ class ExtendedPlatform:
         """Return the sum of working powers over all processors (compute + links)."""
         return self._cluster.total_work_power() + sum(
             p.p_work for p in self._links.values()
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-serialisable representation of the extended platform."""
+        return {
+            "cluster": self._cluster.to_dict(),
+            "links": [spec.to_dict() for spec in self._links.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExtendedPlatform":
+        """Rebuild an extended platform from :meth:`to_dict` output."""
+        return cls(
+            Cluster.from_dict(data["cluster"]),
+            [ProcessorSpec.from_dict(entry) for entry in data.get("links", [])],
         )
 
     def __contains__(self, name: Hashable) -> bool:

@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Hashable
+from typing import Dict, Hashable
 
+from repro.utils.names import decode_name, encode_name
 from repro.utils.validation import check_in_range, check_non_negative_int
 
 __all__ = ["ProcessorSpec", "COMPUTE", "LINK"]
@@ -82,6 +83,30 @@ class ProcessorSpec:
         if work == 0:
             return 1
         return max(1, int(math.ceil(work / self.speed)))
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-serialisable representation of the specification."""
+        return {
+            "name": encode_name(self.name),
+            "speed": float(self.speed),
+            "p_idle": self.p_idle,
+            "p_work": self.p_work,
+            "kind": self.kind,
+            "proc_type": self.proc_type,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ProcessorSpec":
+        """Rebuild a processor specification from :meth:`to_dict` output."""
+        return cls(
+            name=decode_name(data["name"]),
+            speed=float(data["speed"]),
+            p_idle=int(data["p_idle"]),
+            p_work=int(data["p_work"]),
+            kind=str(data.get("kind", COMPUTE)),
+            proc_type=str(data.get("proc_type", "")),
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -13,6 +13,7 @@ from typing import Dict, Hashable, Iterator, Mapping, Optional
 
 from repro.schedule.instance import ProblemInstance
 from repro.utils.errors import InvalidScheduleError
+from repro.utils.names import decode_name, encode_name
 
 __all__ = ["Schedule"]
 
@@ -100,6 +101,41 @@ class Schedule:
     def meets_deadline(self) -> bool:
         """Return whether the schedule finishes by the instance's deadline."""
         return self.makespan <= self._instance.deadline
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-serialisable representation of the schedule.
+
+        The instance itself is *not* embedded (it is usually shared between
+        many schedules); pass it to :meth:`from_dict` when deserialising, or
+        use :func:`repro.io.wire.schedule_to_dict` to bundle both.
+        """
+        return {
+            "algorithm": self._algorithm,
+            "start_times": [
+                [encode_name(node), start] for node, start in self._start.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, object], instance: ProblemInstance
+    ) -> "Schedule":
+        """Rebuild a schedule from :meth:`to_dict` output against *instance*."""
+        return cls(
+            instance,
+            {decode_name(node): int(start) for node, start in data["start_times"]},
+            algorithm=str(data.get("algorithm", "unknown")),
+        )
+
+    def same_start_times(self, other: "Schedule") -> bool:
+        """Return whether *other* assigns identical start times.
+
+        Unlike ``==`` this does not require both schedules to share the same
+        instance object, which is what wire-format round-trip comparisons
+        need (the deserialised instance is equivalent but distinct).
+        """
+        return self._start == other._start
 
     # ------------------------------------------------------------------ #
     def copy(self, *, algorithm: Optional[str] = None) -> "Schedule":

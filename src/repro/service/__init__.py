@@ -1,0 +1,27 @@
+"""The scheduling service subsystem: requests, caching, parallel execution.
+
+Public surface:
+
+* :class:`~repro.service.service.SchedulingService` — batched request
+  execution with fingerprint deduplication, a bounded LRU result cache and a
+  process/thread worker pool.
+* :class:`~repro.service.requests.ScheduleRequest`,
+  :class:`~repro.service.requests.ScheduleResponse` — the plain-data wire
+  protocol of the service.
+* :class:`~repro.service.cache.ResultCache` — the bounded LRU cache.
+* :func:`~repro.service.pool.parallel_map` — the order-preserving worker
+  pool helper (also used by ``run_grid(jobs=N)``).
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.pool import parallel_map
+from repro.service.requests import ScheduleRequest, ScheduleResponse
+from repro.service.service import SchedulingService
+
+__all__ = [
+    "ResultCache",
+    "ScheduleRequest",
+    "ScheduleResponse",
+    "SchedulingService",
+    "parallel_map",
+]

@@ -1,0 +1,188 @@
+"""Scheduling requests and responses of the service wire protocol.
+
+A :class:`ScheduleRequest` is self-contained plain data: the instance as a
+wire payload (see :func:`repro.io.wire.instance_to_dict`), the algorithm
+variants to run, and the scheduler configuration.  Being plain data it can be
+read from a JSON batch file, shipped to a worker process, and — crucially —
+content-hashed: :attr:`ScheduleRequest.fingerprint` is the cache and
+deduplication key of the :class:`~repro.service.service.SchedulingService`.
+
+A :class:`ScheduleResponse` pairs the fingerprint with the produced
+:class:`~repro.experiments.runner.RunRecord` list and records whether it was
+served from the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.scheduler import CaWoSched
+from repro.core.variants import variant_names
+from repro.experiments.runner import RunRecord
+from repro.io.wire import canonical_json, instance_to_dict
+from repro.schedule.instance import ProblemInstance
+from repro.utils.errors import WireFormatError
+
+__all__ = ["ScheduleRequest", "ScheduleResponse"]
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """One self-contained scheduling request.
+
+    Attributes
+    ----------
+    payload:
+        The problem instance as a wire payload
+        (:func:`repro.io.wire.instance_to_dict` output).
+    variants:
+        The algorithm variants to run, in order.
+    scheduler:
+        The scheduler configuration
+        (:meth:`repro.core.scheduler.CaWoSched.config_dict` output).
+    """
+
+    payload: Dict[str, object]
+    variants: Tuple[str, ...]
+    scheduler: Dict[str, object] = field(default_factory=dict)
+    #: Optional live instance matching *payload*, kept so in-process execution
+    #: can skip the deserialisation round trip.  Not part of the request's
+    #: identity (fingerprint), equality or serialised form.
+    live_instance: Optional[ProblemInstance] = field(
+        default=None, compare=False, repr=False
+    )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_instance(
+        cls,
+        instance: ProblemInstance,
+        *,
+        variants: Optional[Sequence[str]] = None,
+        scheduler: Optional[CaWoSched] = None,
+    ) -> "ScheduleRequest":
+        """Build a request from a live problem instance.
+
+        *variants* defaults to all algorithm variants; *scheduler* defaults
+        to the paper's parameters.
+        """
+        scheduler = scheduler or CaWoSched()
+        names = tuple(variants) if variants is not None else tuple(variant_names())
+        return cls(
+            payload=instance_to_dict(instance),
+            variants=names,
+            scheduler=scheduler.config_dict(),
+            live_instance=instance,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScheduleRequest":
+        """Build a request from plain data (e.g. one entry of a batch file).
+
+        Two instance sources are accepted:
+
+        * ``"instance"`` — an inline wire payload, or
+        * ``"spec"`` — a grid-cell description understood by
+          :class:`repro.experiments.instances.InstanceSpec` (keys ``family``,
+          ``tasks``, ``cluster``, ``scenario``, ``deadline_factor``, ``seed``),
+          which is materialised deterministically here.
+
+        Optional keys: ``"variants"`` (default: all) and ``"scheduler"``
+        (default: paper parameters).
+        """
+        live_instance = None
+        if "instance" in data:
+            payload = dict(data["instance"])
+        elif "spec" in data:
+            # Imported lazily: experiments sits above the service in the
+            # layering, and only spec-based requests need it.
+            from repro.experiments.instances import InstanceSpec, make_instance
+
+            spec_data = dict(data["spec"])
+            try:
+                spec = InstanceSpec(
+                    family=str(spec_data["family"]),
+                    num_tasks=int(spec_data.get("tasks", spec_data.get("num_tasks"))),
+                    cluster=str(spec_data.get("cluster", "small")),
+                    scenario=str(spec_data.get("scenario", "S1")),
+                    deadline_factor=float(spec_data.get("deadline_factor", 2.0)),
+                    seed=int(spec_data.get("seed", 0)),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise WireFormatError(
+                    f"malformed request spec {spec_data!r}: {exc}"
+                ) from exc
+            live_instance = make_instance(spec)
+            payload = instance_to_dict(live_instance)
+        else:
+            raise WireFormatError(
+                "a request needs either an 'instance' payload or a 'spec'"
+            )
+        variants = data.get("variants")
+        names = tuple(str(v) for v in variants) if variants else tuple(variant_names())
+        try:
+            scheduler = CaWoSched.from_config(data.get("scheduler"))
+        except (TypeError, ValueError) as exc:
+            raise WireFormatError(
+                f"malformed scheduler config {data.get('scheduler')!r}: {exc}"
+            ) from exc
+        return cls(
+            payload=payload,
+            variants=names,
+            scheduler=scheduler.config_dict(),
+            live_instance=live_instance,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def fingerprint(self) -> str:
+        """Content-hash identity of the request.
+
+        Two requests with identical instance content, variants and scheduler
+        configuration share a fingerprint; the service deduplicates and
+        caches on it.  SHA-256 over the canonical JSON of the request.
+        """
+        body = {
+            "instance": self.payload,
+            "variants": list(self.variants),
+            "scheduler": self.scheduler,
+        }
+        return hashlib.sha256(canonical_json(body).encode("utf8")).hexdigest()
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return the request as plain data (inverse of :meth:`from_dict`)."""
+        return {
+            "instance": self.payload,
+            "variants": list(self.variants),
+            "scheduler": dict(self.scheduler),
+        }
+
+
+@dataclass(frozen=True)
+class ScheduleResponse:
+    """The service's answer to one request.
+
+    Attributes
+    ----------
+    fingerprint:
+        The request's fingerprint (cache key).
+    records:
+        One :class:`RunRecord` per requested variant, in request order.
+    cached:
+        Whether the records were served from the result cache rather than
+        computed for this request.
+    """
+
+    fingerprint: str
+    records: Tuple[RunRecord, ...]
+    cached: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return the response as plain data."""
+        return {
+            "fingerprint": self.fingerprint,
+            "cached": self.cached,
+            "records": [record.to_dict() for record in self.records],
+        }

@@ -1,0 +1,190 @@
+"""The scheduling service: batched requests, deduplication, caching, fan-out.
+
+:class:`SchedulingService` is the process-level entry point of the
+subsystem: it accepts batches of :class:`~repro.service.requests.ScheduleRequest`
+objects (typically parsed from a JSON batch file), and answers each with a
+:class:`~repro.service.requests.ScheduleResponse`.  Per batch it
+
+1. computes every request's content-hash fingerprint,
+2. serves repeats — within the batch and across batches — from a bounded
+   LRU result cache (:class:`~repro.service.cache.ResultCache`),
+3. schedules each *unique* uncached request exactly once, either inline or
+   fanned out over a process/thread pool (``jobs=N``), and
+4. returns the responses in request order, flagged ``cached`` where no
+   scheduling work was done for them.
+
+The worker path moves only wire-format plain data across the process
+boundary: a request dictionary goes out, a list of record dictionaries comes
+back.  Workers rebuild the instance with
+:func:`repro.io.wire.instance_from_dict`, which is exact, so cached and
+freshly computed results for the same fingerprint are interchangeable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.scheduler import CaWoSched
+from repro.experiments.runner import RunRecord, run_instance
+from repro.io.wire import instance_from_dict
+from repro.service.cache import ResultCache
+from repro.service.pool import parallel_map
+from repro.service.requests import ScheduleRequest, ScheduleResponse
+
+__all__ = ["SchedulingService"]
+
+
+def _run_request(request: ScheduleRequest) -> List[RunRecord]:
+    """Schedule one request, reusing its live instance when available.
+
+    The wire round trip is exact, so results are identical whether the
+    instance comes from :attr:`ScheduleRequest.live_instance` or is rebuilt
+    from the payload.
+    """
+    instance = request.live_instance
+    if instance is None:
+        instance = instance_from_dict(request.payload)
+    scheduler = CaWoSched.from_config(request.scheduler)
+    return run_instance(instance, variants=request.variants, scheduler=scheduler)
+
+
+def _execute_request(request_data: Mapping[str, object]) -> List[Dict[str, object]]:
+    """Run one request and return its records as plain dictionaries.
+
+    Module-level so the process pool can pickle it; input and output are
+    wire-format plain data only.
+    """
+    request = ScheduleRequest(
+        payload=dict(request_data["instance"]),
+        variants=tuple(request_data["variants"]),
+        scheduler=dict(request_data["scheduler"]),
+    )
+    return [record.to_dict() for record in _run_request(request)]
+
+
+class SchedulingService:
+    """Serve batches of scheduling requests with caching and a worker pool.
+
+    Parameters
+    ----------
+    cache_size:
+        Bound of the LRU result cache (entries, keyed by request
+        fingerprint).
+    jobs:
+        Number of workers for fresh requests: ``1`` computes inline, ``N > 1``
+        fans out over a pool.
+    executor:
+        Pool flavour for ``jobs > 1``: ``"process"`` (default) or
+        ``"thread"``.
+
+    Examples
+    --------
+    >>> service = SchedulingService(cache_size=64)
+    >>> request = ScheduleRequest.from_instance(instance)     # doctest: +SKIP
+    >>> response = service.submit(request)                    # doctest: +SKIP
+    >>> service.submit(request).cached                        # doctest: +SKIP
+    True
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_size: int = 128,
+        jobs: int = 1,
+        executor: str = "process",
+    ) -> None:
+        self._cache: ResultCache[Tuple[RunRecord, ...]] = ResultCache(cache_size)
+        self.jobs = int(jobs)
+        self.executor = str(executor)
+        self._computed = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cache(self) -> ResultCache:
+        """The underlying result cache (for inspection)."""
+        return self._cache
+
+    @property
+    def computed(self) -> int:
+        """Number of unique requests actually scheduled (cache misses)."""
+        return self._computed
+
+    def stats(self) -> Dict[str, int]:
+        """Return service statistics (scheduled count plus cache counters)."""
+        return {"computed": self._computed, **self._cache.stats()}
+
+    # ------------------------------------------------------------------ #
+    def submit(self, request: ScheduleRequest) -> ScheduleResponse:
+        """Serve a single request (equivalent to a one-element batch)."""
+        return self.submit_batch([request])[0]
+
+    def submit_batch(
+        self, requests: Sequence[ScheduleRequest]
+    ) -> List[ScheduleResponse]:
+        """Serve a batch of requests.
+
+        Duplicate requests (same fingerprint) are scheduled once: the first
+        occurrence computes (or reuses an earlier batch's cache entry), every
+        other occurrence is answered from the cache.  Responses come back in
+        request order.
+        """
+        requests = list(requests)
+        fingerprints = [request.fingerprint for request in requests]
+
+        # Which fingerprints need fresh work, keyed by first occurrence.
+        fresh: Dict[str, ScheduleRequest] = {}
+        for fingerprint, request in zip(fingerprints, requests):
+            if fingerprint not in fresh and fingerprint not in self._cache:
+                fresh[fingerprint] = request
+
+        computed_records: Dict[str, Tuple[RunRecord, ...]] = {}
+        if fresh:
+            computed = self._compute(list(fresh.values()))
+            for fingerprint, records in zip(fresh, computed):
+                computed_records[fingerprint] = tuple(records)
+                self._cache.put(fingerprint, tuple(records))
+            self._computed += len(fresh)
+
+        responses: List[ScheduleResponse] = []
+        for fingerprint, request in zip(fingerprints, requests):
+            if fingerprint in computed_records:
+                # First occurrence of a fresh request: answered from this
+                # batch's computation, not from the cache.
+                records = computed_records.pop(fingerprint)
+                cached = False
+            else:
+                records = self._cache.get(fingerprint)
+                cached = True
+                if records is None:  # pragma: no cover - cache bound < batch width
+                    # The batch contained more unique requests than the cache
+                    # can hold and this entry was already evicted; recompute.
+                    records = tuple(self._compute([request])[0])
+                    self._cache.put(fingerprint, records)
+                    self._computed += 1
+                    cached = False
+            responses.append(
+                ScheduleResponse(
+                    fingerprint=fingerprint, records=records, cached=cached
+                )
+            )
+        return responses
+
+    # ------------------------------------------------------------------ #
+    def _compute(
+        self, requests: Sequence[ScheduleRequest]
+    ) -> List[List[RunRecord]]:
+        """Schedule the given (unique) requests, possibly over the pool."""
+        if self.jobs <= 1 or len(requests) <= 1:
+            # In-process: no serialisation boundary to cross, so skip the
+            # wire round trip and reuse live instances where available.
+            return [_run_request(request) for request in requests]
+        if self.executor == "thread":
+            # Threads share the process too — hand the requests over as-is.
+            return parallel_map(
+                _run_request, requests, jobs=self.jobs, executor="thread"
+            )
+        payloads = [request.to_dict() for request in requests]
+        raw = parallel_map(
+            _execute_request, payloads, jobs=self.jobs, executor=self.executor
+        )
+        return [[RunRecord.from_dict(entry) for entry in row] for row in raw]

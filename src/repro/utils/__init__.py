@@ -9,6 +9,8 @@ subpackages:
   instance grids) is reproducible.
 * :mod:`repro.utils.ordering` — topological-order helpers on
   :class:`networkx.DiGraph` objects.
+* :mod:`repro.utils.names` — JSON encoding of hashable node names (used by
+  the wire format in :mod:`repro.io`).
 * :mod:`repro.utils.validation` — argument-checking helpers shared by the
   public API.
 """
@@ -22,7 +24,9 @@ from repro.utils.errors import (
     InvalidScheduleError,
     InvalidWorkflowError,
     SolverError,
+    WireFormatError,
 )
+from repro.utils.names import decode_name, encode_name
 from repro.utils.rng import derive_rng, ensure_rng, spawn_seeds
 from repro.utils.ordering import (
     topological_order,
@@ -46,6 +50,9 @@ __all__ = [
     "InvalidScheduleError",
     "InvalidWorkflowError",
     "SolverError",
+    "WireFormatError",
+    "decode_name",
+    "encode_name",
     "derive_rng",
     "ensure_rng",
     "spawn_seeds",

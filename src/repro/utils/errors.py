@@ -18,6 +18,7 @@ __all__ = [
     "InvalidScheduleError",
     "InfeasibleScheduleError",
     "SolverError",
+    "WireFormatError",
 ]
 
 
@@ -77,4 +78,13 @@ class SolverError(CaWoSchedError):
     Raised when the MILP backend reports infeasibility on an instance that is
     known to be feasible (which indicates a modelling bug) or when it fails
     for resource reasons.
+    """
+
+
+class WireFormatError(CaWoSchedError):
+    """A serialised payload cannot be decoded.
+
+    Raised when a JSON document does not carry the expected envelope
+    (``format`` / ``version`` / ``kind``), declares an unsupported wire
+    version, or a payload field is missing or malformed.
     """

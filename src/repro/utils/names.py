@@ -1,0 +1,66 @@
+"""JSON encoding of hashable node names.
+
+Node names throughout the library are hashables: workflow tasks are usually
+strings, communication tasks are tuples ``("comm", source, target)`` and link
+processors are tuples ``("link", p1, p2)``.  JSON has no tuple type, so the
+wire format (see :mod:`repro.io.wire`) encodes names with a small tagged
+scheme:
+
+* strings, integers and floats pass through unchanged (they are valid JSON
+  values and unambiguous),
+* tuples become ``{"__tuple__": [encoded items...]}``,
+* booleans become ``{"__bool__": true/false}`` (a raw JSON boolean would
+  decode as Python ``bool`` anyway, but tagging keeps encode/decode total
+  inverses even where ``bool``/``int`` ambiguity matters),
+* ``None`` becomes ``{"__none__": true}``.
+
+Dictionaries never occur as names (they are unhashable), so the tag objects
+cannot collide with a legitimate name.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+from repro.utils.errors import WireFormatError
+
+__all__ = ["encode_name", "decode_name"]
+
+
+def encode_name(name: Hashable):
+    """Encode a node name into a JSON-serialisable value."""
+    if isinstance(name, bool):
+        return {"__bool__": name}
+    if isinstance(name, (str, int, float)):
+        return name
+    if isinstance(name, tuple):
+        return {"__tuple__": [encode_name(item) for item in name]}
+    if name is None:
+        return {"__none__": True}
+    raise TypeError(
+        f"cannot encode name {name!r} of type {type(name).__name__}; "
+        "supported: str, int, float, bool, None and tuples thereof"
+    )
+
+
+def decode_name(data) -> Hashable:
+    """Decode a value produced by :func:`encode_name` back into a name.
+
+    Raises
+    ------
+    WireFormatError
+        If *data* is not a value :func:`encode_name` can produce (e.g. a
+        corrupted or foreign wire file).
+    """
+    if isinstance(data, dict):
+        if "__tuple__" in data:
+            items: List = data["__tuple__"]
+            return tuple(decode_name(item) for item in items)
+        if "__bool__" in data:
+            return bool(data["__bool__"])
+        if "__none__" in data:
+            return None
+        raise WireFormatError(f"unrecognised encoded name {data!r}")
+    if isinstance(data, (str, int, float)):
+        return data
+    raise WireFormatError(f"unrecognised encoded name {data!r}")

@@ -26,6 +26,7 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, 
 import networkx as nx
 
 from repro.utils.errors import CyclicWorkflowError, InvalidWorkflowError
+from repro.utils.names import decode_name, encode_name
 from repro.utils.ordering import topological_order
 from repro.utils.validation import check_non_negative_int, check_positive_int
 from repro.workflow.task import Task
@@ -277,6 +278,47 @@ class Workflow:
                 raise InvalidWorkflowError(
                     f"edge {source!r} -> {target!r} has invalid data {data!r}"
                 )
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-serialisable representation of the workflow.
+
+        Task and edge insertion order is preserved, so a round trip through
+        :meth:`from_dict` reproduces the same deterministic topological order.
+        """
+        return {
+            "name": self._name,
+            "tasks": [
+                {
+                    "name": encode_name(node),
+                    "work": int(attrs["work"]),
+                    "category": attrs.get("category"),
+                }
+                for node, attrs in self._graph.nodes(data=True)
+            ],
+            "dependencies": [
+                [encode_name(source), encode_name(target), int(attrs["data"])]
+                for source, target, attrs in self._graph.edges(data=True)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Workflow":
+        """Rebuild a workflow from :meth:`to_dict` output."""
+        workflow = cls(str(data.get("name", "workflow")))
+        for entry in data["tasks"]:
+            workflow.add_task(
+                decode_name(entry["name"]),
+                work=int(entry["work"]),
+                category=entry.get("category"),
+            )
+        for source, target, volume in data["dependencies"]:
+            workflow.add_dependency(
+                decode_name(source), decode_name(target), data=int(volume)
+            )
+        return workflow
 
     # ------------------------------------------------------------------ #
     # Editing helpers (used by generators and .dot import)

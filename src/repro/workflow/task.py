@@ -14,8 +14,9 @@ Communication tasks of the communication-enhanced DAG are represented by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Optional, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
+from repro.utils.names import decode_name, encode_name
 from repro.utils.validation import check_positive_int
 
 __all__ = ["Task", "CommTask"]
@@ -48,6 +49,23 @@ class Task:
     def with_work(self, work: int) -> "Task":
         """Return a copy of this task with a different work volume."""
         return Task(name=self.name, work=int(work), category=self.category)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-serialisable representation of the task."""
+        return {
+            "name": encode_name(self.name),
+            "work": self.work,
+            "category": self.category,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Task":
+        """Rebuild a task from :meth:`to_dict` output."""
+        return cls(
+            name=decode_name(data["name"]),
+            work=int(data["work"]),
+            category=data.get("category"),
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"Task({self.name!r}, work={self.work})"
@@ -88,6 +106,23 @@ class CommTask:
     def edge(self) -> Tuple[Hashable, Hashable]:
         """The original edge ``(source, target)`` this task realises."""
         return (self.source, self.target)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-serialisable representation of the communication task."""
+        return {
+            "source": encode_name(self.source),
+            "target": encode_name(self.target),
+            "volume": self.volume,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CommTask":
+        """Rebuild a communication task from :meth:`to_dict` output."""
+        return cls(
+            source=decode_name(data["source"]),
+            target=decode_name(data["target"]),
+            volume=int(data["volume"]),
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"CommTask({self.source!r}->{self.target!r}, volume={self.volume})"

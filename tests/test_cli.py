@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
 from repro.core.variants import variant_names
+from repro.io.wire import WIRE_FORMAT, load_records
 
 
 class TestParser:
@@ -64,3 +67,144 @@ class TestGridCommand:
         out = capsys.readouterr().out
         assert "ranked first" in out
         assert "median cost ratio" in out or "pressWR-LS" in out
+
+    def test_grid_defaults_jobs_and_out(self):
+        args = build_parser().parse_args(["grid"])
+        assert args.jobs == 1
+        assert args.out is None
+
+    def test_grid_jobs_and_out(self, capsys, tmp_path):
+        out = tmp_path / "records.json"
+        code = main([
+            "grid", "--families", "bacass", "--sizes", "15",
+            "--scenarios", "S1", "--deadline-factors", "1.5",
+            "--variants", "ASAP", "pressWR-LS", "--seed", "2",
+            "--jobs", "2", "--out", str(out),
+        ])
+        assert code == 0
+        assert "over 2 workers" in capsys.readouterr().out
+        records = load_records(out)
+        assert {record.variant for record in records} == {"ASAP", "pressWR-LS"}
+
+
+class TestExportImportCommands:
+    def test_export_then_import(self, capsys, tmp_path):
+        path = tmp_path / "instance.json"
+        code = main([
+            "export", "--family", "bacass", "--tasks", "15",
+            "--scenario", "S1", "--deadline-factor", "1.5", "--seed", "1",
+            "--out", str(path),
+        ])
+        assert code == 0
+        assert "wrote instance" in capsys.readouterr().out
+        assert json.loads(path.read_text())["format"] == WIRE_FORMAT
+
+        code = main(["import", str(path), "--variants", "ASAP", "pressWR-LS"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pressWR-LS" in out
+        assert "carbon cost" in out
+
+    def test_export_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export"])
+
+    def test_import_missing_file_errors(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["import", str(tmp_path / "nope.json")])
+        assert "not found" in capsys.readouterr().err
+
+    def test_import_rejects_non_wire_file(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "other", "version": 1}))
+        with pytest.raises(SystemExit):
+            main(["import", str(path)])
+        assert "unknown wire format" in capsys.readouterr().err
+
+
+class TestBatchCommand:
+    @staticmethod
+    def _requests_file(tmp_path, entries):
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps({"requests": entries}))
+        return path
+
+    def test_batch_deduplicates(self, capsys, tmp_path):
+        spec = {
+            "family": "bacass", "tasks": 15, "cluster": "small",
+            "scenario": "S1", "deadline_factor": 1.5, "seed": 1,
+        }
+        entry = {"spec": spec, "variants": ["ASAP", "pressWR-LS"]}
+        path = self._requests_file(tmp_path, [entry, entry])
+        out = tmp_path / "responses.json"
+        code = main(["batch", str(path), "--out", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "2 requests, 1 scheduled" in text
+        assert "yes" in text and "no" in text
+        document = json.loads(out.read_text())
+        assert document["kind"] == "responses"
+        assert [entry["cached"] for entry in document["payload"]] == [False, True]
+        assert (
+            document["payload"][0]["fingerprint"]
+            == document["payload"][1]["fingerprint"]
+        )
+
+    def test_batch_accepts_top_level_list(self, capsys, tmp_path):
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps([
+            {"spec": {"family": "chain", "tasks": 6, "cluster": "single",
+                      "scenario": "S4", "deadline_factor": 2.0},
+             "variants": ["ASAP"]},
+        ]))
+        assert main(["batch", str(path)]) == 0
+        assert "1 requests, 1 scheduled" in capsys.readouterr().out
+
+    def test_batch_missing_file_errors(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["batch", str(tmp_path / "nope.json")])
+        assert "not found" in capsys.readouterr().err
+
+    def test_batch_invalid_json_errors(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(SystemExit):
+            main(["batch", str(path)])
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_batch_empty_list_errors(self, capsys, tmp_path):
+        path = self._requests_file(tmp_path, [])
+        with pytest.raises(SystemExit):
+            main(["batch", str(path)])
+        assert "non-empty list" in capsys.readouterr().err
+
+    def test_batch_malformed_request_errors(self, capsys, tmp_path):
+        path = self._requests_file(tmp_path, [{"variants": ["ASAP"]}])
+        with pytest.raises(SystemExit):
+            main(["batch", str(path)])
+        assert "'instance' payload or a 'spec'" in capsys.readouterr().err
+
+    def test_batch_malformed_inline_instance_errors(self, capsys, tmp_path):
+        path = self._requests_file(
+            tmp_path, [{"instance": {"bogus": 1}, "variants": ["ASAP"]}]
+        )
+        with pytest.raises(SystemExit):
+            main(["batch", str(path)])
+        assert "missing field" in capsys.readouterr().err
+
+    def test_batch_non_numeric_spec_field_errors(self, capsys, tmp_path):
+        path = self._requests_file(
+            tmp_path, [{"spec": {"family": "chain", "tasks": "many"}}]
+        )
+        with pytest.raises(SystemExit):
+            main(["batch", str(path)])
+        assert "malformed request spec" in capsys.readouterr().err
+
+    def test_batch_rejects_nonpositive_cache_size(self, capsys, tmp_path):
+        path = self._requests_file(tmp_path, [
+            {"spec": {"family": "chain", "tasks": 6, "cluster": "single"},
+             "variants": ["ASAP"]},
+        ])
+        with pytest.raises(SystemExit):
+            main(["batch", str(path), "--cache-size", "0"])
+        assert "--cache-size must be positive" in capsys.readouterr().err

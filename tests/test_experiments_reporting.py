@@ -9,6 +9,8 @@ from repro.experiments.reporting import (
     format_performance_profiles,
     format_rank_distribution,
     format_table,
+    read_records_csv,
+    records_from_csv,
     records_to_csv,
     write_records_csv,
 )
@@ -59,6 +61,25 @@ class TestCsv:
         path = tmp_path / "records.csv"
         write_records_csv([make_record("ASAP", 1)], path)
         assert path.read_text().startswith("instance,")
+
+    def test_text_round_trip(self):
+        records = [make_record("ASAP", 10), make_record("slack", 5)]
+        assert records_from_csv(records_to_csv(records)) == records
+
+    def test_file_round_trip(self, tmp_path):
+        records = [make_record("ASAP", 10), make_record("pressWR-LS", 3)]
+        path = tmp_path / "records.csv"
+        write_records_csv(records, path)
+        clone = read_records_csv(path)
+        assert clone == records
+        # Field types are restored, not left as CSV strings.
+        assert isinstance(clone[0].carbon_cost, int)
+        assert isinstance(clone[0].runtime_seconds, float)
+        assert isinstance(clone[0].deadline_factor, float)
+
+    def test_read_empty_text(self):
+        assert records_from_csv("") == []
+        assert records_from_csv("\n") == []
 
 
 class TestFigureFormatters:

@@ -1,0 +1,318 @@
+"""Tests for the versioned JSON wire format (:mod:`repro.io.wire`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.carbon.intervals import Interval, PowerProfile
+from repro.core.scheduler import CaWoSched
+from repro.experiments.instances import InstanceSpec, make_instance
+from repro.experiments.runner import RunRecord, run_instance
+from repro.io.wire import (
+    WIRE_FORMAT,
+    WIRE_VERSION,
+    dumps,
+    envelope,
+    instance_fingerprint,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_records,
+    loads,
+    open_envelope,
+    records_from_dict,
+    records_to_dict,
+    result_from_dict,
+    result_to_dict,
+    save_instance,
+    save_records,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.mapping.mapping import Mapping
+from repro.platform_.cluster import Cluster, ExtendedPlatform
+from repro.platform_.processor import ProcessorSpec
+from repro.utils.errors import WireFormatError
+from repro.utils.names import decode_name, encode_name
+from repro.workflow.dag import Workflow
+from repro.workflow.generators import generate_workflow
+from repro.workflow.task import CommTask, Task
+
+
+@pytest.fixture
+def grid_instance():
+    """A small but non-trivial generated instance (has communications)."""
+    spec = InstanceSpec("bacass", 15, "small", "S1", 1.5, seed=1)
+    return make_instance(spec)
+
+
+class TestNameCodec:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "task-a",
+            7,
+            3.5,
+            True,
+            None,
+            ("comm", "a", "b"),
+            ("link", ("p", 1), ("p", 2)),
+        ],
+    )
+    def test_round_trip(self, name):
+        assert decode_name(encode_name(name)) == name
+
+    def test_round_trip_preserves_type(self):
+        assert decode_name(encode_name(True)) is True
+        assert isinstance(decode_name(encode_name(("a", 1))), tuple)
+
+    def test_unsupported_name_rejected(self):
+        with pytest.raises(TypeError):
+            encode_name(object())
+
+    def test_garbage_rejected_as_wire_error(self):
+        with pytest.raises(WireFormatError):
+            decode_name({"unexpected": 1})
+        with pytest.raises(WireFormatError):
+            decode_name([1, 2])
+
+
+class TestLeafRoundTrips:
+    def test_task(self):
+        task = Task("qc-1", work=5, category="qc")
+        assert Task.from_dict(task.to_dict()) == task
+
+    def test_comm_task(self):
+        comm = CommTask("a", "b", volume=3)
+        assert CommTask.from_dict(comm.to_dict()) == comm
+
+    def test_processor_spec(self):
+        spec = ProcessorSpec("p0", speed=2.5, p_idle=1, p_work=4, proc_type="PT2")
+        assert ProcessorSpec.from_dict(spec.to_dict()) == spec
+
+    def test_link_processor_spec(self):
+        spec = ProcessorSpec(
+            ("link", "p0", "p1"), speed=1.0, p_idle=1, p_work=2, kind="link",
+            proc_type="LINK",
+        )
+        assert ProcessorSpec.from_dict(spec.to_dict()) == spec
+
+    def test_cluster(self, hetero_cluster):
+        clone = Cluster.from_dict(hetero_cluster.to_dict())
+        assert clone.name == hetero_cluster.name
+        assert clone.processors() == hetero_cluster.processors()
+
+    def test_interval(self):
+        interval = Interval(3, 9, 4)
+        assert Interval.from_dict(interval.to_dict()) == interval
+
+    def test_power_profile(self):
+        profile = PowerProfile([5, 3, 2], [4, 0, 9])
+        assert PowerProfile.from_dict(profile.to_dict()) == profile
+
+    def test_workflow(self, diamond_workflow_fixed):
+        clone = Workflow.from_dict(diamond_workflow_fixed.to_dict())
+        assert clone.name == diamond_workflow_fixed.name
+        assert clone.tasks() == diamond_workflow_fixed.tasks()
+        assert clone.dependencies() == diamond_workflow_fixed.dependencies()
+        for task in clone.tasks():
+            assert clone.work(task) == diamond_workflow_fixed.work(task)
+        for source, target in clone.dependencies():
+            assert clone.data(source, target) == diamond_workflow_fixed.data(source, target)
+
+    def test_workflow_preserves_topological_order(self):
+        workflow = generate_workflow("atacseq", 40, rng=3)
+        clone = Workflow.from_dict(workflow.to_dict())
+        assert clone.topological_order() == workflow.topological_order()
+
+
+class TestMappingRoundTrip:
+    def test_mapping(self, grid_instance):
+        mapping = grid_instance.dag.mapping
+        clone = Mapping.from_dict(mapping.to_dict())
+        assert clone.assignment() == mapping.assignment()
+        assert clone.processor_order() == mapping.processor_order()
+        assert clone.communication_order() == mapping.communication_order()
+
+    def test_extended_platform(self, grid_instance):
+        platform = grid_instance.dag.platform
+        clone = ExtendedPlatform.from_dict(platform.to_dict())
+        assert clone.processors() == platform.processors()
+        assert clone.total_idle_power() == platform.total_idle_power()
+        assert clone.total_work_power() == platform.total_work_power()
+
+
+class TestInstanceRoundTrip:
+    def test_structure_preserved(self, grid_instance):
+        clone = instance_from_dict(instance_to_dict(grid_instance))
+        assert clone.name == grid_instance.name
+        assert clone.deadline == grid_instance.deadline
+        assert clone.metadata == grid_instance.metadata
+        assert clone.dag.nodes() == grid_instance.dag.nodes()
+        for node in grid_instance.dag.nodes():
+            assert clone.dag.duration(node) == grid_instance.dag.duration(node)
+            assert clone.dag.processor(node) == grid_instance.dag.processor(node)
+        assert sorted(map(repr, clone.dag.edges())) == sorted(
+            map(repr, grid_instance.dag.edges())
+        )
+        assert clone.profile == grid_instance.profile
+
+    @pytest.mark.parametrize("variant", ["ASAP", "slack", "pressWR-LS"])
+    def test_carbon_cost_invariant(self, grid_instance, variant):
+        clone = instance_from_dict(instance_to_dict(grid_instance))
+        scheduler = CaWoSched()
+        original = scheduler.run(grid_instance, variant)
+        roundtrip = scheduler.run(clone, variant)
+        assert roundtrip.carbon_cost == original.carbon_cost
+        assert roundtrip.makespan == original.makespan
+        assert roundtrip.schedule.same_start_times(original.schedule)
+
+    def test_carbon_cost_invariant_single_processor(self, tiny_single_instance):
+        clone = instance_from_dict(instance_to_dict(tiny_single_instance))
+        scheduler = CaWoSched()
+        for variant in ("ASAP", "slackWR-LS"):
+            assert (
+                scheduler.run(clone, variant).carbon_cost
+                == scheduler.run(tiny_single_instance, variant).carbon_cost
+            )
+
+    def test_fingerprint_stable_across_round_trips(self, grid_instance):
+        clone = instance_from_dict(instance_to_dict(grid_instance))
+        assert instance_fingerprint(clone) == instance_fingerprint(grid_instance)
+
+    def test_fingerprint_distinguishes_content(self, grid_instance, tiny_multi_instance):
+        assert instance_fingerprint(grid_instance) != instance_fingerprint(
+            tiny_multi_instance
+        )
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(WireFormatError, match="missing field"):
+            instance_from_dict({"bogus": 1})
+
+    def test_malformed_value_rejected_as_wire_error(self, grid_instance):
+        payload = instance_to_dict(grid_instance)
+        payload["profile"] = {"lengths": [10], "budgets": ["abc"]}
+        with pytest.raises(WireFormatError, match="malformed instance payload"):
+            instance_from_dict(payload)
+
+    def test_mismatched_platform_rejected(self, grid_instance):
+        from repro.mapping.enhanced_dag import build_enhanced_dag
+        from repro.platform_.cluster import ExtendedPlatform
+        from repro.utils.errors import InvalidMappingError
+
+        mapping = grid_instance.dag.mapping
+        # Same processor names, different speeds/powers: must be rejected.
+        foreign_cluster = Cluster(
+            [
+                ProcessorSpec(spec.name, speed=spec.speed * 2, p_idle=spec.p_idle,
+                              p_work=spec.p_work, proc_type=spec.proc_type)
+                for spec in mapping.cluster.processors()
+            ],
+            name=mapping.cluster.name,
+        )
+        foreign_platform = ExtendedPlatform(
+            foreign_cluster, grid_instance.dag.platform.links()
+        )
+        with pytest.raises(InvalidMappingError, match="does not match"):
+            build_enhanced_dag(mapping, platform=foreign_platform)
+
+
+class TestScheduleAndResultRoundTrips:
+    def test_schedule_round_trip(self, grid_instance):
+        schedule = CaWoSched().schedule(grid_instance, "pressWR-LS")
+        clone = schedule_from_dict(schedule.to_dict(), grid_instance)
+        assert clone.same_start_times(schedule)
+        assert clone.algorithm == schedule.algorithm
+        assert clone.makespan == schedule.makespan
+
+    def test_schedule_with_embedded_instance(self, grid_instance):
+        schedule = CaWoSched().schedule(grid_instance, "ASAP")
+        payload = schedule_to_dict(schedule, include_instance=True)
+        clone = schedule_from_dict(payload)
+        assert clone.same_start_times(schedule)
+        assert clone.instance.name == grid_instance.name
+
+    def test_schedule_without_instance_rejected(self, grid_instance):
+        schedule = CaWoSched().schedule(grid_instance, "ASAP")
+        with pytest.raises(WireFormatError):
+            schedule_from_dict(schedule.to_dict())
+
+    def test_result_round_trip(self, grid_instance):
+        result = CaWoSched().run(grid_instance, "pressWR-LS")
+        clone = result_from_dict(result_to_dict(result), grid_instance)
+        assert clone.variant == result.variant
+        assert clone.carbon_cost == result.carbon_cost
+        assert clone.makespan == result.makespan
+        assert clone.schedule.same_start_times(result.schedule)
+
+
+class TestRecordsRoundTrip:
+    def test_records(self, grid_instance):
+        records = run_instance(grid_instance, variants=["ASAP", "slack"])
+        clone = records_from_dict(records_to_dict(records))
+        assert clone == records
+
+    def test_record_from_csv_strings(self):
+        record = RunRecord(
+            instance="x", variant="ASAP", carbon_cost=5, runtime_seconds=0.25,
+            makespan=7, deadline=10, num_tasks=4, family="bacass",
+            cluster="small", scenario="S1", deadline_factor=1.5,
+        )
+        strings = {key: str(value) for key, value in record.to_dict().items()}
+        assert RunRecord.from_dict(strings) == record
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        payload = open_envelope(envelope("records", [1, 2]), "records")
+        assert payload == [1, 2]
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(WireFormatError):
+            open_envelope({"format": "other", "version": 1, "payload": {}})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(WireFormatError):
+            open_envelope(
+                {"format": WIRE_FORMAT, "version": WIRE_VERSION + 1, "payload": {}}
+            )
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(WireFormatError):
+            open_envelope(envelope("records", []), "instance")
+
+    def test_missing_payload_rejected(self):
+        with pytest.raises(WireFormatError):
+            open_envelope({"format": WIRE_FORMAT, "version": WIRE_VERSION})
+
+    def test_loads_rejects_garbage(self):
+        with pytest.raises(WireFormatError):
+            loads("not json at all {")
+
+    def test_dumps_unknown_kind_rejected(self):
+        with pytest.raises(WireFormatError):
+            dumps("mystery", object())
+
+
+class TestFileRoundTrips:
+    def test_instance_file(self, grid_instance, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(grid_instance, path)
+        clone = load_instance(path)
+        assert instance_fingerprint(clone) == instance_fingerprint(grid_instance)
+        # The file is a valid envelope readable by any JSON consumer.
+        document = json.loads(path.read_text(encoding="utf8"))
+        assert document["format"] == WIRE_FORMAT
+        assert document["kind"] == "instance"
+
+    def test_records_file(self, grid_instance, tmp_path):
+        records = run_instance(grid_instance, variants=["ASAP", "slack"])
+        path = tmp_path / "records.json"
+        save_records(records, path)
+        assert load_records(path) == records
+
+    def test_dumps_loads_text(self, grid_instance):
+        clone = loads(dumps("instance", grid_instance))
+        assert instance_fingerprint(clone) == instance_fingerprint(grid_instance)

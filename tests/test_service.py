@@ -1,0 +1,269 @@
+"""Tests for the scheduling service subsystem (:mod:`repro.service`)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.service.service as service_module
+from repro.experiments.instances import InstanceSpec, make_instance
+from repro.io.wire import instance_to_dict
+from repro.service import (
+    ResultCache,
+    ScheduleRequest,
+    ScheduleResponse,
+    SchedulingService,
+    parallel_map,
+)
+from repro.utils.errors import WireFormatError
+
+
+@pytest.fixture
+def grid_instance():
+    spec = InstanceSpec("bacass", 15, "small", "S1", 1.5, seed=1)
+    return make_instance(spec)
+
+
+@pytest.fixture
+def other_instance():
+    spec = InstanceSpec("chain", 8, "single", "S4", 2.0, seed=0)
+    return make_instance(spec)
+
+
+VARIANTS = ("ASAP", "pressWR-LS")
+
+
+class TestResultCache:
+    def test_get_put(self):
+        cache = ResultCache(max_size=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_bound_respected(self):
+        cache = ResultCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert "a" not in cache
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.put("c", 3)
+        # "b" was least recently used, so it (not "a") was evicted.
+        assert "a" in cache and "b" not in cache and "c" in cache
+
+    def test_put_refreshes_existing_entry(self):
+        cache = ResultCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_size=0)
+
+
+class TestParallelMap:
+    def test_inline_path(self):
+        assert parallel_map(str, [1, 2, 3], jobs=1) == ["1", "2", "3"]
+
+    def test_thread_pool_preserves_order(self):
+        assert parallel_map(str, range(8), jobs=4, executor="thread") == [
+            str(i) for i in range(8)
+        ]
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_map(str, [1, 2], jobs=2, executor="fiber")
+
+
+class TestScheduleRequest:
+    def test_fingerprint_identical_for_identical_content(self, grid_instance):
+        spec = InstanceSpec("bacass", 15, "small", "S1", 1.5, seed=1)
+        twin = make_instance(spec)
+        first = ScheduleRequest.from_instance(grid_instance, variants=VARIANTS)
+        second = ScheduleRequest.from_instance(twin, variants=VARIANTS)
+        assert first.fingerprint == second.fingerprint
+
+    def test_fingerprint_depends_on_variants(self, grid_instance):
+        first = ScheduleRequest.from_instance(grid_instance, variants=("ASAP",))
+        second = ScheduleRequest.from_instance(grid_instance, variants=("slack",))
+        assert first.fingerprint != second.fingerprint
+
+    def test_fingerprint_depends_on_instance(self, grid_instance, other_instance):
+        first = ScheduleRequest.from_instance(grid_instance, variants=VARIANTS)
+        second = ScheduleRequest.from_instance(other_instance, variants=VARIANTS)
+        assert first.fingerprint != second.fingerprint
+
+    def test_dict_round_trip(self, grid_instance):
+        request = ScheduleRequest.from_instance(grid_instance, variants=VARIANTS)
+        clone = ScheduleRequest.from_dict(request.to_dict())
+        assert clone.fingerprint == request.fingerprint
+
+    def test_from_dict_with_spec(self, grid_instance):
+        request = ScheduleRequest.from_dict(
+            {
+                "spec": {
+                    "family": "bacass", "tasks": 15, "cluster": "small",
+                    "scenario": "S1", "deadline_factor": 1.5, "seed": 1,
+                },
+                "variants": list(VARIANTS),
+            }
+        )
+        inline = ScheduleRequest.from_instance(grid_instance, variants=VARIANTS)
+        assert request.fingerprint == inline.fingerprint
+
+    def test_from_dict_requires_instance_or_spec(self):
+        with pytest.raises(WireFormatError):
+            ScheduleRequest.from_dict({"variants": ["ASAP"]})
+
+    def test_from_dict_rejects_malformed_scheduler_config(self, grid_instance):
+        with pytest.raises(WireFormatError, match="malformed scheduler config"):
+            ScheduleRequest.from_dict(
+                {
+                    "instance": instance_to_dict(grid_instance),
+                    "scheduler": {"block_size": "huge"},
+                }
+            )
+
+    def test_live_instance_not_part_of_identity(self, grid_instance):
+        request = ScheduleRequest.from_instance(grid_instance, variants=VARIANTS)
+        assert request.live_instance is grid_instance
+        clone = ScheduleRequest.from_dict(request.to_dict())
+        assert clone.live_instance is None
+        assert clone == request
+        assert clone.fingerprint == request.fingerprint
+        assert "live_instance" not in request.to_dict()
+
+
+class TestSchedulingService:
+    def _counting(self, monkeypatch):
+        """Count scheduler invocations through the per-request worker.
+
+        ``_run_request`` sits on both execution paths (inline and via the
+        pool's ``_execute_request``), so patching it counts every request
+        that is actually scheduled.
+        """
+        calls = []
+        original = service_module._run_request
+
+        def wrapper(request):
+            calls.append(request)
+            return original(request)
+
+        monkeypatch.setattr(service_module, "_run_request", wrapper)
+        return calls
+
+    def test_duplicates_scheduled_once(self, grid_instance, monkeypatch):
+        calls = self._counting(monkeypatch)
+        service = SchedulingService(cache_size=8)
+        request = ScheduleRequest.from_instance(grid_instance, variants=VARIANTS)
+        responses = service.submit_batch([request, request, request])
+        assert len(calls) == 1
+        assert [response.cached for response in responses] == [False, True, True]
+        assert responses[0].records == responses[1].records == responses[2].records
+        assert service.computed == 1
+
+    def test_cache_survives_batches(self, grid_instance, monkeypatch):
+        calls = self._counting(monkeypatch)
+        service = SchedulingService(cache_size=8)
+        request = ScheduleRequest.from_instance(grid_instance, variants=VARIANTS)
+        first = service.submit(request)
+        second = service.submit(request)
+        assert len(calls) == 1
+        assert not first.cached and second.cached
+        assert first.records == second.records
+
+    def test_identical_fingerprints_identical_results(self, grid_instance):
+        service = SchedulingService(cache_size=8)
+        spec = InstanceSpec("bacass", 15, "small", "S1", 1.5, seed=1)
+        twin_request = ScheduleRequest.from_instance(
+            make_instance(spec), variants=VARIANTS
+        )
+        request = ScheduleRequest.from_instance(grid_instance, variants=VARIANTS)
+        assert request.fingerprint == twin_request.fingerprint
+        first = service.submit(request)
+        second = service.submit(twin_request)
+        assert second.cached
+        assert first.records == second.records
+
+    def test_lru_bound_forces_recompute(self, grid_instance, other_instance, monkeypatch):
+        calls = self._counting(monkeypatch)
+        service = SchedulingService(cache_size=1)
+        first = ScheduleRequest.from_instance(grid_instance, variants=("ASAP",))
+        second = ScheduleRequest.from_instance(other_instance, variants=("ASAP",))
+        service.submit(first)
+        service.submit(second)   # evicts `first`
+        assert len(service.cache) == 1
+        response = service.submit(first)  # must recompute
+        assert not response.cached
+        assert len(calls) == 3
+        assert service.cache.evictions == 2
+
+    def test_mixed_batch_order_preserved(self, grid_instance, other_instance):
+        service = SchedulingService(cache_size=8)
+        a = ScheduleRequest.from_instance(grid_instance, variants=("ASAP",))
+        b = ScheduleRequest.from_instance(other_instance, variants=("ASAP",))
+        responses = service.submit_batch([a, b, a, b])
+        assert [response.fingerprint for response in responses] == [
+            a.fingerprint, b.fingerprint, a.fingerprint, b.fingerprint
+        ]
+        assert [response.cached for response in responses] == [False, False, True, True]
+        assert service.computed == 2
+
+    def test_thread_pool_matches_inline(self, grid_instance, other_instance):
+        request_a = ScheduleRequest.from_instance(grid_instance, variants=VARIANTS)
+        request_b = ScheduleRequest.from_instance(other_instance, variants=VARIANTS)
+        inline = SchedulingService(cache_size=8, jobs=1)
+        pooled = SchedulingService(cache_size=8, jobs=2, executor="thread")
+        inline_responses = inline.submit_batch([request_a, request_b])
+        pooled_responses = pooled.submit_batch([request_a, request_b])
+        for seq, par in zip(inline_responses, pooled_responses):
+            assert seq.fingerprint == par.fingerprint
+            assert [r.carbon_cost for r in seq.records] == [
+                r.carbon_cost for r in par.records
+            ]
+            assert [r.makespan for r in seq.records] == [
+                r.makespan for r in par.records
+            ]
+
+    def test_process_pool_matches_inline(self, grid_instance, other_instance):
+        request_a = ScheduleRequest.from_instance(grid_instance, variants=("ASAP",))
+        request_b = ScheduleRequest.from_instance(other_instance, variants=("ASAP",))
+        inline = SchedulingService(cache_size=8, jobs=1)
+        pooled = SchedulingService(cache_size=8, jobs=2, executor="process")
+        inline_responses = inline.submit_batch([request_a, request_b])
+        pooled_responses = pooled.submit_batch([request_a, request_b])
+        for seq, par in zip(inline_responses, pooled_responses):
+            assert seq.fingerprint == par.fingerprint
+            assert [r.carbon_cost for r in seq.records] == [
+                r.carbon_cost for r in par.records
+            ]
+
+    def test_response_to_dict(self, grid_instance):
+        service = SchedulingService(cache_size=8)
+        request = ScheduleRequest.from_instance(grid_instance, variants=("ASAP",))
+        response = service.submit(request)
+        data = response.to_dict()
+        assert data["fingerprint"] == request.fingerprint
+        assert data["cached"] is False
+        assert data["records"][0]["variant"] == "ASAP"
+
+    def test_stats(self, grid_instance):
+        service = SchedulingService(cache_size=4)
+        request = ScheduleRequest.from_instance(grid_instance, variants=("ASAP",))
+        service.submit_batch([request, request])
+        stats = service.stats()
+        assert stats["computed"] == 1
+        assert stats["hits"] == 1
+        assert stats["size"] == 1
+        assert stats["max_size"] == 4
