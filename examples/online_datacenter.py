@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""A day in an online carbon-aware datacenter.
+
+Workflows arrive over a virtual day (Poisson stream) at a datacenter powered
+against a synthetic solar carbon-intensity trace.  Each arrival is planned by
+the paper's ``pressWR-LS`` heuristic — but online, the green-power future is
+only *forecast*.  This example simulates the same day three times, varying
+only the forecast model (clairvoyant oracle, naive persistence, trailing
+moving average), and prints the resulting online-vs-oracle carbon gap: how
+much extra carbon imperfect foresight costs, per forecast model, at equal
+deadline compliance.
+
+Run with:  python examples/online_datacenter.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_table
+from repro.sim import SimulationConfig, simulate
+
+#: One virtual day at one-minute resolution (the solar trace has hourly samples).
+DAY = 1440
+
+FORECASTS = ["oracle", "persistence", "moving-average"]
+
+
+def main() -> None:
+    print(
+        f"simulating {DAY} minutes of Poisson arrivals (EDF policy, solar trace)\n"
+    )
+    rows = []
+    for forecast in FORECASTS:
+        config = SimulationConfig(
+            horizon=DAY,
+            rate=0.02,              # ~29 workflows over the day
+            slots=6,
+            policy="edf",
+            forecast=forecast,
+            trace="solar",
+            families=("atacseq", "eager", "methylseq"),
+            tasks=(15,),
+            deadline_factor=2.5,
+            seed=42,
+        )
+        report = simulate(config)
+        metrics = report.metrics
+        rows.append(
+            [
+                forecast,
+                int(metrics["workflows"]),
+                f"{metrics['deadline_miss_rate']:.0%}",
+                int(metrics["online_carbon"]),
+                int(metrics["oracle_carbon"]),
+                f"{metrics['carbon_gap']:.4f}",
+            ]
+        )
+    print(
+        format_table(
+            rows,
+            ["forecast", "workflows", "misses", "online carbon",
+             "oracle carbon", "gap"],
+        )
+    )
+    print(
+        "\nThe oracle forecast reproduces the offline clairvoyant scheduler "
+        "exactly (gap 1.0); persistence and moving-average planning pay a "
+        "carbon premium because workflows committed at night are scheduled "
+        "as if the night never ends.  The premium — not the absolute cost — "
+        "is the price of imperfect carbon forecasts."
+    )
+
+
+if __name__ == "__main__":
+    main()

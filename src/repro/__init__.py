@@ -113,8 +113,18 @@ from repro.service import (
     SchedulingService,
     parallel_map,
 )
+from repro.sim import (
+    CarbonSignal,
+    JobRecord,
+    SimEvent,
+    SimReport,
+    SimulationConfig,
+    Simulator,
+    WorkloadConfig,
+    simulate,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -192,4 +202,13 @@ __all__ = [
     "ScheduleResponse",
     "SchedulingService",
     "parallel_map",
+    # sim (online simulation)
+    "CarbonSignal",
+    "JobRecord",
+    "SimEvent",
+    "SimReport",
+    "SimulationConfig",
+    "Simulator",
+    "WorkloadConfig",
+    "simulate",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface of the CaWoSched reproduction.
 
-Six subcommands cover the everyday uses of the library without writing any
+Seven subcommands cover the everyday uses of the library without writing any
 Python:
 
 * ``schedule`` — build one instance (workflow family, size, cluster, scenario,
@@ -14,7 +14,11 @@ Python:
   cache, worker pool);
 * ``export`` — build one instance and write it as wire-format JSON;
 * ``import`` — read a wire-format instance file and schedule it;
-* ``variants`` — list the available algorithm variants.
+* ``simulate`` — run the online discrete-event simulator (workflow arrivals,
+  carbon forecasts, scheduling policies) and print the online metrics;
+  ``--out`` writes the full report as wire-format JSON;
+* ``variants`` — list the available algorithm variants (``--json`` for a
+  machine-readable listing).
 
 Invoke via ``python -m repro ...`` or the ``cawosched`` console script::
 
@@ -25,7 +29,9 @@ Invoke via ``python -m repro ...`` or the ``cawosched`` console script::
     python -m repro export --family bacass --tasks 20 --out instance.json
     python -m repro import instance.json --variants ASAP pressWR-LS
     python -m repro batch requests.json --jobs 4 --out responses.json
-    python -m repro variants
+    python -m repro simulate --arrivals poisson --rate 0.05 --horizon 2880 \\
+        --policy edf --forecast persistence --seed 1 --out sim.json
+    python -m repro variants --json
 """
 
 from __future__ import annotations
@@ -37,7 +43,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.core.scheduler import CaWoSched
-from repro.core.variants import variant_names
+from repro.core.variants import ALL_VARIANTS, variant_names
 from repro.experiments.instances import (
     DEFAULT_DEADLINE_FACTORS,
     DEFAULT_SCENARIOS,
@@ -48,8 +54,19 @@ from repro.experiments.instances import (
 from repro.experiments.metrics import median_cost_ratio, rank_distribution
 from repro.experiments.reporting import format_mapping, format_table
 from repro.experiments.runner import RunRecord, run_grid, run_instance
-from repro.io.wire import load_instance, save_instance, save_payload, save_records
+from repro.io.wire import (
+    load_instance,
+    save_instance,
+    save_payload,
+    save_records,
+    save_sim_report,
+)
 from repro.service import ScheduleRequest, SchedulingService
+from repro.sim.arrivals import ARRIVAL_PROCESSES
+from repro.sim.engine import SimulationConfig, simulate
+from repro.sim.forecast import FORECAST_MODELS
+from repro.sim.policies import POLICIES
+from repro.carbon.traces import SYNTHETIC_TRACE_PROFILES
 from repro.utils.errors import CaWoSchedError
 from repro.workflow.generators import WORKFLOW_FAMILIES
 
@@ -158,7 +175,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scheduler_arguments(import_)
 
-    subparsers.add_parser("variants", help="list the available algorithm variants")
+    simulate_ = subparsers.add_parser(
+        "simulate",
+        help="run the online discrete-event simulator and print the online metrics",
+    )
+    simulate_.add_argument(
+        "--arrivals", default="poisson", choices=list(ARRIVAL_PROCESSES),
+        help="arrival process of the workflow stream",
+    )
+    simulate_.add_argument(
+        "--rate", type=float, default=0.02,
+        help="Poisson arrival rate (workflows per time unit)",
+    )
+    simulate_.add_argument("--burst-period", type=int, default=240,
+                           help="time units between burst onsets")
+    simulate_.add_argument("--burst-size", type=int, default=5,
+                           help="workflows per burst")
+    simulate_.add_argument(
+        "--trace-file", default=None, metavar="PATH",
+        help="JSON file with a list of arrival times (for --arrivals trace)",
+    )
+    simulate_.add_argument("--horizon", type=int, default=2880,
+                           help="arrival horizon in time units")
+    simulate_.add_argument("--slots", type=int, default=4,
+                           help="number of cluster replicas workflows run on")
+    simulate_.add_argument(
+        "--policy", default="fifo", choices=list(POLICIES),
+        help="online scheduling policy",
+    )
+    simulate_.add_argument("--threshold", type=float, default=0.5,
+                           help="green fraction above which the carbon policy commits")
+    simulate_.add_argument("--reschedule-period", type=int, default=120,
+                           help="re-planning period of the reschedule policy")
+    simulate_.add_argument(
+        "--forecast", default="oracle", choices=list(FORECAST_MODELS),
+        help="carbon forecast model the policies plan against",
+    )
+    simulate_.add_argument("--ma-window", type=int, default=120,
+                           help="trailing window of the moving-average forecast")
+    simulate_.add_argument(
+        "--trace", default="solar", choices=sorted(SYNTHETIC_TRACE_PROFILES),
+        help="shape of the synthetic daily carbon-intensity trace",
+    )
+    simulate_.add_argument("--trace-noise", type=float, default=0.0,
+                           help="relative noise of the synthetic trace (seeded)")
+    simulate_.add_argument("--families", nargs="+", default=["atacseq", "eager"],
+                           choices=sorted(WORKFLOW_FAMILIES),
+                           help="workflow families sampled per arrival")
+    simulate_.add_argument("--tasks", nargs="+", type=int, default=[12],
+                           help="workflow sizes sampled per arrival")
+    simulate_.add_argument("--cluster", default="small",
+                           choices=["small", "large", "single"])
+    simulate_.add_argument("--deadline-factor", type=float, default=2.0,
+                           help="relative deadline as a multiple of the ASAP makespan")
+    simulate_.add_argument("--variant", default="pressWR-LS",
+                           help="algorithm variant that plans committed workflows")
+    simulate_.add_argument("--seed", type=int, default=0)
+    simulate_.add_argument("--cache-size", type=int, default=256,
+                           help="bound of the service's schedule cache")
+    simulate_.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the full simulation report to PATH as wire-format JSON",
+    )
+
+    variants = subparsers.add_parser(
+        "variants", help="list the available algorithm variants"
+    )
+    variants.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable JSON listing instead of plain names",
+    )
     return parser
 
 
@@ -294,7 +380,89 @@ def _run_import(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
     return 0
 
 
-def _run_variants() -> int:
+def _run_simulate(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    arrival_times = None
+    if args.arrivals == "trace":
+        if not args.trace_file:
+            parser.error("--arrivals trace needs --trace-file")
+        path = Path(args.trace_file)
+        if not path.exists():
+            parser.error(f"trace file not found: {path}")
+        try:
+            data = json.loads(path.read_text(encoding="utf8"))
+        except json.JSONDecodeError as exc:
+            parser.error(f"trace file {path} is not valid JSON: {exc}")
+        if not isinstance(data, list):
+            parser.error(f"trace file {path} must contain a JSON list of arrival times")
+        arrival_times = tuple(int(t) for t in data)
+
+    try:
+        config = SimulationConfig(
+            horizon=args.horizon,
+            slots=args.slots,
+            seed=args.seed,
+            arrivals=args.arrivals,
+            rate=args.rate,
+            burst_period=args.burst_period,
+            burst_size=args.burst_size,
+            arrival_times=arrival_times,
+            policy=args.policy,
+            threshold=args.threshold,
+            reschedule_period=args.reschedule_period,
+            forecast=args.forecast,
+            ma_window=args.ma_window,
+            trace=args.trace,
+            trace_noise=args.trace_noise,
+            families=tuple(args.families),
+            tasks=tuple(args.tasks),
+            cluster=args.cluster,
+            deadline_factor=args.deadline_factor,
+            variant=args.variant,
+            cache_size=args.cache_size,
+        )
+    except CaWoSchedError as exc:
+        parser.error(str(exc))
+
+    print(
+        f"simulating {args.horizon} time units: {args.arrivals} arrivals, "
+        f"policy {args.policy}, forecast {args.forecast}, trace {args.trace}, "
+        f"{args.slots} slots"
+    )
+    report = simulate(config)
+    print(f"\n{len(report.jobs)} workflows completed, {len(report.events)} events")
+    if report.metrics:
+        rows = [[key, f"{value:.4f}"] for key, value in report.metrics.items()]
+        print(format_table(rows, ["metric", "value"]))
+    else:
+        print("no arrivals — nothing to report")
+    stats = report.service
+    print(
+        f"\nservice: {stats['solved']} schedules computed, "
+        f"{stats['solve_hits']} served from cache"
+    )
+    if args.out:
+        save_sim_report(report, args.out)
+        print(f"wrote simulation report to {args.out}")
+    return 0
+
+
+def _run_variants(args: argparse.Namespace) -> int:
+    if args.json:
+        listing = []
+        for name in variant_names():
+            spec = ALL_VARIANTS[name]
+            listing.append(
+                {
+                    "name": spec.name,
+                    "score": spec.base,
+                    "weighted": spec.weighted,
+                    "refined": spec.refined,
+                    "local_search": spec.local_search,
+                    "baseline": spec.is_baseline,
+                }
+            )
+        print(json.dumps(listing, indent=2))
+        return 0
     for name in variant_names():
         print(name)
     return 0
@@ -314,8 +482,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_export(args)
     if args.command == "import":
         return _run_import(args, parser)
+    if args.command == "simulate":
+        return _run_simulate(args, parser)
     if args.command == "variants":
-        return _run_variants()
+        return _run_variants(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -63,6 +63,8 @@ __all__ = [
     "record_from_dict",
     "records_to_dict",
     "records_from_dict",
+    "sim_report_to_dict",
+    "sim_report_from_dict",
     "dumps",
     "loads",
     "save",
@@ -72,6 +74,8 @@ __all__ = [
     "load_instance",
     "save_records",
     "load_records",
+    "save_sim_report",
+    "load_sim_report",
 ]
 
 #: Identifier of the wire format (the envelope's ``format`` field).
@@ -284,16 +288,38 @@ def records_from_dict(payload: Iterable[TMapping[str, object]]) -> List[RunRecor
 
 
 # ---------------------------------------------------------------------- #
+# Simulation reports
+# ---------------------------------------------------------------------- #
+def sim_report_to_dict(report) -> Dict[str, object]:
+    """Serialise a :class:`repro.sim.report.SimReport` (delegates to ``to_dict``)."""
+    return report.to_dict()
+
+
+def sim_report_from_dict(payload: TMapping[str, object]):
+    """Rebuild a :class:`repro.sim.report.SimReport` from its payload.
+
+    The import is deferred: :mod:`repro.sim` sits above this module in the
+    layering (its engine schedules through the service, which serialises
+    through here), so importing it at module load time would be circular.
+    """
+    from repro.sim.report import SimReport
+
+    return SimReport.from_dict(payload)
+
+
+# ---------------------------------------------------------------------- #
 # Text / file round trips
 # ---------------------------------------------------------------------- #
 _KIND_SERIALISERS = {
     "instance": instance_to_dict,
     "records": records_to_dict,
+    "sim-report": sim_report_to_dict,
 }
 
 _KIND_DESERIALISERS = {
     "instance": instance_from_dict,
     "records": records_from_dict,
+    "sim-report": sim_report_from_dict,
 }
 
 
@@ -370,3 +396,13 @@ def save_records(records: Iterable[RunRecord], path: Union[str, Path]) -> None:
 def load_records(path: Union[str, Path]) -> List[RunRecord]:
     """Read run records from an enveloped JSON file."""
     return load(path, "records")
+
+
+def save_sim_report(report, path: Union[str, Path]) -> None:
+    """Write a simulation report to *path* as enveloped JSON."""
+    save("sim-report", report, path)
+
+
+def load_sim_report(path: Union[str, Path]):
+    """Read a simulation report from an enveloped JSON file."""
+    return load(path, "sim-report")

@@ -22,11 +22,13 @@ freshly computed results for the same fingerprint are interchangeable.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.scheduler import CaWoSched
+from repro.core.scheduler import CaWoSched, ScheduleResult
 from repro.experiments.runner import RunRecord, run_instance
-from repro.io.wire import instance_from_dict
+from repro.io.wire import canonical_json, instance_from_dict, instance_to_dict
+from repro.schedule.instance import ProblemInstance
 from repro.service.cache import ResultCache
 from repro.service.pool import parallel_map
 from repro.service.requests import ScheduleRequest, ScheduleResponse
@@ -94,9 +96,11 @@ class SchedulingService:
         executor: str = "process",
     ) -> None:
         self._cache: ResultCache[Tuple[RunRecord, ...]] = ResultCache(cache_size)
+        self._schedules: ResultCache[ScheduleResult] = ResultCache(cache_size)
         self.jobs = int(jobs)
         self.executor = str(executor)
         self._computed = 0
+        self._solved = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -109,11 +113,66 @@ class SchedulingService:
         """Number of unique requests actually scheduled (cache misses)."""
         return self._computed
 
+    @property
+    def schedule_cache(self) -> ResultCache:
+        """The full-result cache behind :meth:`solve` (for inspection)."""
+        return self._schedules
+
+    @property
+    def solved(self) -> int:
+        """Number of :meth:`solve` calls actually computed (cache misses)."""
+        return self._solved
+
     def stats(self) -> Dict[str, int]:
         """Return service statistics (scheduled count plus cache counters)."""
-        return {"computed": self._computed, **self._cache.stats()}
+        return {
+            "computed": self._computed,
+            "solved": self._solved,
+            "solve_hits": self._schedules.hits,
+            **self._cache.stats(),
+        }
 
     # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        instance: ProblemInstance,
+        variant: str,
+        *,
+        scheduler: Optional[CaWoSched] = None,
+    ) -> ScheduleResult:
+        """Schedule one variant on one instance, through the full-result cache.
+
+        Unlike the batch path (which exchanges flat :class:`RunRecord` data),
+        this returns the complete :class:`ScheduleResult` including the
+        schedule itself — what callers that *execute* schedules (the online
+        simulator, :mod:`repro.sim`) need.  Results are cached by the
+        content fingerprint of ``(problem content, variant, scheduler
+        config)``; the instance's name and metadata are deliberately *not*
+        part of the key, since the produced schedule depends only on the DAG
+        and the power profile — so repeated identical plans (e.g. a
+        rescheduling policy re-planning against an unchanged forecast
+        window) cost one cache lookup regardless of how their instances are
+        labelled.  A cached result's ``runtime_seconds`` and its schedule's
+        instance reference report the original computation.
+        """
+        scheduler = scheduler or CaWoSched()
+        problem = instance_to_dict(instance)
+        problem.pop("name", None)
+        problem.pop("metadata", None)
+        body = {
+            "instance": problem,
+            "variant": str(variant),
+            "scheduler": scheduler.config_dict(),
+        }
+        fingerprint = hashlib.sha256(canonical_json(body).encode("utf8")).hexdigest()
+        cached = self._schedules.get(fingerprint)
+        if cached is not None:
+            return cached
+        result = scheduler.run(instance, variant)
+        self._schedules.put(fingerprint, result)
+        self._solved += 1
+        return result
+
     def submit(self, request: ScheduleRequest) -> ScheduleResponse:
         """Serve a single request (equivalent to a one-element batch)."""
         return self.submit_batch([request])[0]

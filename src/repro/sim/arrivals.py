@@ -1,0 +1,194 @@
+"""Arrival processes: when workflows enter the online system.
+
+An arrival process turns a seed and a horizon into a sorted list of integer
+arrival times.  Three processes cover the usual workload shapes:
+
+* :class:`PoissonProcess` — memoryless arrivals at a constant rate (the
+  classic open-system model),
+* :class:`BurstProcess` — periodic bursts of simultaneous submissions
+  (nightly pipelines, cron storms),
+* :class:`TraceProcess` — explicit, trace-driven arrival times (replaying a
+  recorded submission log).
+
+All randomness flows through :mod:`repro.utils.rng`, so the same seed always
+produces the same arrival stream regardless of where it is evaluated.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+from repro.utils.errors import SimulationError
+from repro.utils.rng import RNGLike, derive_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "BurstProcess",
+    "TraceProcess",
+    "ARRIVAL_PROCESSES",
+    "make_arrivals",
+]
+
+
+class ArrivalProcess(ABC):
+    """Base class of all arrival processes."""
+
+    #: Registry name of the process (set by subclasses).
+    name: str = "?"
+
+    @abstractmethod
+    def times(self, horizon: int) -> List[int]:
+        """Return the sorted arrival times within ``[0, horizon)``."""
+
+
+class PoissonProcess(ArrivalProcess):
+    """Poisson arrivals: exponential inter-arrival gaps at a constant rate.
+
+    Parameters
+    ----------
+    rate:
+        Expected arrivals per time unit (non-negative; 0 yields an empty
+        stream).
+    seed:
+        Seed of the arrival stream (any :data:`repro.utils.rng.RNGLike`).
+    """
+
+    name = "poisson"
+
+    def __init__(self, rate: float, *, seed: RNGLike = None) -> None:
+        self.rate = float(rate)
+        if self.rate < 0:
+            raise SimulationError(f"arrival rate must be non-negative, got {rate}")
+        self.seed = seed
+
+    def times(self, horizon: int) -> List[int]:
+        horizon = check_positive_int(horizon, "horizon")
+        if self.rate == 0:
+            return []
+        rng = derive_rng(self.seed, "arrivals", "poisson")
+        times: List[int] = []
+        clock = 0.0
+        while True:
+            clock += float(rng.exponential(1.0 / self.rate))
+            time = int(clock)
+            if time >= horizon:
+                return times
+            times.append(time)
+
+
+class BurstProcess(ArrivalProcess):
+    """Periodic bursts: *burst_size* simultaneous arrivals every *period* units.
+
+    Parameters
+    ----------
+    period:
+        Distance between burst onsets (positive).
+    burst_size:
+        Number of workflows per burst (positive).
+    jitter:
+        Maximum uniform jitter (in time units) added to each burst onset;
+        0 keeps the bursts exactly periodic.
+    seed:
+        Seed of the jitter stream.
+    """
+
+    name = "burst"
+
+    def __init__(
+        self,
+        period: int,
+        burst_size: int,
+        *,
+        jitter: int = 0,
+        seed: RNGLike = None,
+    ) -> None:
+        self.period = check_positive_int(period, "period")
+        self.burst_size = check_positive_int(burst_size, "burst_size")
+        if jitter < 0:
+            raise SimulationError(f"jitter must be non-negative, got {jitter}")
+        self.jitter = int(jitter)
+        self.seed = seed
+
+    def times(self, horizon: int) -> List[int]:
+        horizon = check_positive_int(horizon, "horizon")
+        rng = derive_rng(self.seed, "arrivals", "burst")
+        times: List[int] = []
+        onset = 0
+        while onset < horizon:
+            time = onset
+            if self.jitter:
+                time += int(rng.integers(0, self.jitter + 1))
+            if time < horizon:
+                times.extend([time] * self.burst_size)
+            onset += self.period
+        return sorted(times)
+
+
+class TraceProcess(ArrivalProcess):
+    """Trace-driven arrivals: an explicit list of submission times.
+
+    Parameters
+    ----------
+    times:
+        Arrival times (non-negative integers, any order); times at or beyond
+        the queried horizon are dropped.
+    """
+
+    name = "trace"
+
+    def __init__(self, times: Sequence[int]) -> None:
+        cleaned: List[int] = []
+        for value in times:
+            value = int(value)
+            if value < 0:
+                raise SimulationError(f"arrival times must be non-negative, got {value}")
+            cleaned.append(value)
+        self._times = sorted(cleaned)
+
+    def times(self, horizon: int) -> List[int]:
+        horizon = check_positive_int(horizon, "horizon")
+        return [time for time in self._times if time < horizon]
+
+
+#: Registry of the arrival process names.
+ARRIVAL_PROCESSES = (PoissonProcess.name, BurstProcess.name, TraceProcess.name)
+
+
+def make_arrivals(
+    name: str,
+    *,
+    rate: float = 0.02,
+    period: int = 240,
+    burst_size: int = 5,
+    jitter: int = 0,
+    times: Optional[Sequence[int]] = None,
+    seed: RNGLike = None,
+) -> ArrivalProcess:
+    """Build the arrival process called *name*.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`ARRIVAL_PROCESSES`.
+    rate:
+        Poisson rate (arrivals per time unit).
+    period, burst_size, jitter:
+        Burst parameters.
+    times:
+        Explicit times of the trace process (required for ``"trace"``).
+    seed:
+        Seed of the stochastic processes.
+    """
+    if name == PoissonProcess.name:
+        return PoissonProcess(rate, seed=seed)
+    if name == BurstProcess.name:
+        return BurstProcess(period, burst_size, jitter=jitter, seed=seed)
+    if name == TraceProcess.name:
+        if times is None:
+            raise SimulationError("the trace arrival process needs explicit times")
+        return TraceProcess(times)
+    known = ", ".join(ARRIVAL_PROCESSES)
+    raise SimulationError(f"unknown arrival process {name!r}; known: {known}")

@@ -19,6 +19,7 @@ __all__ = [
     "InfeasibleScheduleError",
     "SolverError",
     "WireFormatError",
+    "SimulationError",
 ]
 
 
@@ -87,4 +88,13 @@ class WireFormatError(CaWoSchedError):
     Raised when a JSON document does not carry the expected envelope
     (``format`` / ``version`` / ``kind``), declares an unsupported wire
     version, or a payload field is missing or malformed.
+    """
+
+
+class SimulationError(CaWoSchedError):
+    """An online-simulation configuration or run is invalid.
+
+    Raised when a simulation configuration names an unknown arrival process,
+    forecast model or policy, or when its parameters are out of range
+    (non-positive horizon, negative rate, empty family set, ...).
     """

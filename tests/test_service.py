@@ -267,3 +267,65 @@ class TestSchedulingService:
         assert stats["hits"] == 1
         assert stats["size"] == 1
         assert stats["max_size"] == 4
+
+
+class TestSolve:
+    def test_returns_full_result(self, grid_instance):
+        service = SchedulingService(cache_size=8)
+        result = service.solve(grid_instance, "ASAP")
+        assert result.variant == "ASAP"
+        assert result.schedule.instance is grid_instance
+        assert result.carbon_cost >= 0
+        assert service.solved == 1
+
+    def test_identical_plans_hit_the_cache(self, grid_instance):
+        service = SchedulingService(cache_size=8)
+        first = service.solve(grid_instance, "pressWR-LS")
+        second = service.solve(grid_instance, "pressWR-LS")
+        assert second is first
+        assert service.solved == 1
+        assert service.schedule_cache.hits == 1
+
+    def test_variant_and_scheduler_are_part_of_the_key(self, grid_instance):
+        from repro.core.scheduler import CaWoSched
+
+        service = SchedulingService(cache_size=8)
+        service.solve(grid_instance, "ASAP")
+        service.solve(grid_instance, "slack")
+        service.solve(grid_instance, "slack", scheduler=CaWoSched(window=5))
+        assert service.solved == 3
+
+    def test_solve_matches_direct_scheduler_run(self, grid_instance):
+        from repro.core.scheduler import CaWoSched
+
+        service = SchedulingService(cache_size=8)
+        via_service = service.solve(grid_instance, "pressWR")
+        direct = CaWoSched().run(grid_instance, "pressWR")
+        assert via_service.carbon_cost == direct.carbon_cost
+        assert via_service.makespan == direct.makespan
+        assert via_service.schedule.same_start_times(direct.schedule)
+
+    def test_solve_counters_in_stats(self, grid_instance):
+        service = SchedulingService(cache_size=8)
+        service.solve(grid_instance, "ASAP")
+        service.solve(grid_instance, "ASAP")
+        stats = service.stats()
+        assert stats["solved"] == 1
+        assert stats["solve_hits"] == 1
+
+    def test_solve_key_ignores_instance_labels(self, grid_instance):
+        # The schedule depends only on the DAG and the profile, so two
+        # instances differing only in name/metadata share a cache entry.
+        from repro.schedule.instance import ProblemInstance
+
+        relabelled = ProblemInstance(
+            grid_instance.dag,
+            grid_instance.profile,
+            name="other-label",
+            metadata={"plan_time": 123},
+        )
+        service = SchedulingService(cache_size=8)
+        first = service.solve(grid_instance, "pressWR")
+        second = service.solve(relabelled, "pressWR")
+        assert second is first
+        assert service.solved == 1

@@ -1,0 +1,92 @@
+"""Tests for the arrival processes (:mod:`repro.sim.arrivals`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.arrivals import (
+    ARRIVAL_PROCESSES,
+    BurstProcess,
+    PoissonProcess,
+    TraceProcess,
+    make_arrivals,
+)
+from repro.utils.errors import SimulationError
+
+
+class TestPoisson:
+    def test_deterministic_for_same_seed(self):
+        a = PoissonProcess(0.05, seed=7).times(1000)
+        b = PoissonProcess(0.05, seed=7).times(1000)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = PoissonProcess(0.05, seed=1).times(2000)
+        b = PoissonProcess(0.05, seed=2).times(2000)
+        assert a != b
+
+    def test_times_sorted_and_in_horizon(self):
+        times = PoissonProcess(0.1, seed=3).times(500)
+        assert times == sorted(times)
+        assert all(0 <= t < 500 for t in times)
+
+    def test_rate_scales_count(self):
+        sparse = PoissonProcess(0.01, seed=5).times(5000)
+        dense = PoissonProcess(0.1, seed=5).times(5000)
+        assert len(dense) > len(sparse) > 0
+
+    def test_zero_rate_empty(self):
+        assert PoissonProcess(0.0, seed=1).times(1000) == []
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            PoissonProcess(-0.5)
+
+
+class TestBurst:
+    def test_exact_periodic_bursts_without_jitter(self):
+        times = BurstProcess(100, 3).times(250)
+        assert times == [0, 0, 0, 100, 100, 100, 200, 200, 200]
+
+    def test_jitter_stays_in_horizon_and_is_deterministic(self):
+        a = BurstProcess(100, 2, jitter=20, seed=4).times(400)
+        b = BurstProcess(100, 2, jitter=20, seed=4).times(400)
+        assert a == b
+        assert all(0 <= t < 400 for t in a)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(Exception):
+            BurstProcess(0, 3)
+        with pytest.raises(Exception):
+            BurstProcess(100, 0)
+        with pytest.raises(SimulationError):
+            BurstProcess(100, 1, jitter=-1)
+
+
+class TestTrace:
+    def test_sorted_and_clipped(self):
+        process = TraceProcess([30, 5, 900, 5])
+        assert process.times(100) == [5, 5, 30]
+        assert process.times(1000) == [5, 5, 30, 900]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceProcess([3, -1])
+
+    def test_empty_trace_allowed(self):
+        assert TraceProcess([]).times(100) == []
+
+
+class TestFactory:
+    def test_all_registry_names_buildable(self):
+        for name in ARRIVAL_PROCESSES:
+            process = make_arrivals(name, times=[1, 2], seed=0)
+            assert process.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SimulationError):
+            make_arrivals("lognormal")
+
+    def test_trace_requires_times(self):
+        with pytest.raises(SimulationError):
+            make_arrivals("trace")

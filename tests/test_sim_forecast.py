@@ -1,0 +1,87 @@
+"""Tests for the carbon signal and forecast models (:mod:`repro.sim`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carbon.traces import synthetic_daily_trace
+from repro.sim.forecast import (
+    FORECAST_MODELS,
+    MovingAverageForecast,
+    OracleForecast,
+    PersistenceForecast,
+    make_forecast,
+)
+from repro.sim.signal import CarbonSignal
+from repro.utils.errors import SimulationError
+
+
+@pytest.fixture
+def signal() -> CarbonSignal:
+    trace = synthetic_daily_trace("solar", sample_duration=60, noise=0.0)
+    return CarbonSignal(trace, idle_power=100, work_power=400, green_cap=0.8)
+
+
+class TestCarbonSignal:
+    def test_budget_bounds(self, signal):
+        for t in range(0, 3000, 37):
+            budget = signal.budget_at(t)
+            assert 100 <= budget <= 100 + int(0.8 * 400)
+
+    def test_green_fraction_hits_both_extremes(self, signal):
+        fractions = [signal.green_fraction(t) for t in range(0, 1440, 60)]
+        assert min(fractions) == 0.0
+        assert max(fractions) == 1.0
+
+    def test_cyclic_beyond_trace(self, signal):
+        assert signal.budget_at(10) == signal.budget_at(10 + 1440)
+
+    def test_window_matches_per_unit_budgets(self, signal):
+        profile = signal.window(100, 300)
+        assert profile.horizon == 300
+        for offset in range(0, 300, 23):
+            assert profile.budget_at(offset) == signal.budget_at(100 + offset)
+
+    def test_window_needs_positive_length(self, signal):
+        with pytest.raises(Exception):
+            signal.window(0, 0)
+
+    def test_solar_noon_greener_than_midnight(self, signal):
+        # Samples are hourly (duration 60): midnight is sample 0, noon sample 12.
+        assert signal.budget_at(12 * 60) > signal.budget_at(0)
+
+
+class TestForecasts:
+    def test_oracle_equals_signal_window(self, signal):
+        forecast = OracleForecast(signal)
+        assert forecast.profile(75, 200) == signal.window(75, 200)
+
+    def test_persistence_is_flat_at_current_budget(self, signal):
+        forecast = PersistenceForecast(signal)
+        profile = forecast.profile(300, 500)
+        assert profile.num_intervals == 1
+        assert profile.budget_at(0) == signal.budget_at(300)
+        assert profile.horizon == 500
+
+    def test_moving_average_averages_history(self, signal):
+        forecast = MovingAverageForecast(signal, window=120)
+        now = 600
+        observed = [signal.budget_at(t) for t in range(now - 119, now + 1)]
+        expected = int(round(sum(observed) / len(observed)))
+        profile = forecast.profile(now, 50)
+        assert profile.budget_at(0) == expected
+
+    def test_moving_average_clips_at_time_zero(self, signal):
+        forecast = MovingAverageForecast(signal, window=120)
+        profile = forecast.profile(0, 10)
+        assert profile.budget_at(0) == signal.budget_at(0)
+
+    def test_factory_builds_all_models(self, signal):
+        for name in FORECAST_MODELS:
+            forecast = make_forecast(name, signal)
+            assert forecast.name == name
+            assert forecast.profile(10, 20).horizon == 20
+
+    def test_factory_rejects_unknown(self, signal):
+        with pytest.raises(SimulationError):
+            make_forecast("arima", signal)
