@@ -18,13 +18,14 @@ Run with:  python examples/carbon_trace_datacenter.py
 from __future__ import annotations
 
 from repro import (
+    Client,
+    Job,
     ProblemInstance,
     asap_makespan,
     build_enhanced_dag,
     generate_workflow,
     heft_mapping,
     profile_from_trace,
-    run_all_variants,
     scaled_large_cluster,
     synthetic_daily_trace,
 )
@@ -55,6 +56,7 @@ def main() -> None:
     print(header)
     print("-" * len(header))
 
+    client = Client()
     for region, kind in REGIONS.items():
         trace = synthetic_daily_trace(kind, rng=7)
         profile = profile_from_trace(
@@ -64,7 +66,8 @@ def main() -> None:
             work_power=dag.platform.total_work_power(),
         )
         instance = ProblemInstance(dag, profile, name=f"trace-{kind}")
-        results = run_all_variants(instance, variants=VARIANTS)
+        job_result = client.submit(Job.from_instance(instance, variants=VARIANTS))
+        results = {r.variant: r for r in job_result.results}
         baseline = results["ASAP"].carbon_cost
         best = min(r.carbon_cost for name, r in results.items() if name != "ASAP")
         saving = (1 - best / baseline) if baseline else 0.0

@@ -15,13 +15,14 @@ Run with:  python examples/deadline_tradeoff.py
 from __future__ import annotations
 
 from repro import (
+    Client,
+    Job,
     ProblemInstance,
     asap_makespan,
     build_enhanced_dag,
     generate_power_profile,
     generate_workflow,
     heft_mapping,
-    run_all_variants,
     scaled_small_cluster,
 )
 
@@ -44,6 +45,7 @@ def main() -> None:
     print(f"{'scenario':9s} {'deadline':>9s} {'ASAP':>10s} {'best CaWoSched':>15s} {'ratio':>7s}")
     print("-" * 56)
 
+    client = Client()
     for scenario in SCENARIOS:
         for factor in DEADLINE_FACTORS:
             deadline = int(round(factor * tight))
@@ -55,7 +57,8 @@ def main() -> None:
                 rng=13,
             )
             instance = ProblemInstance(dag, profile, name=f"{scenario}-x{factor}")
-            results = run_all_variants(instance, variants=VARIANTS)
+            job_result = client.submit(Job.from_instance(instance, variants=VARIANTS))
+            results = {r.variant: r for r in job_result.results}
             baseline = results["ASAP"].carbon_cost
             best = min(r.carbon_cost for name, r in results.items() if name != "ASAP")
             ratio = best / baseline if baseline else 1.0

@@ -9,7 +9,8 @@ The example follows the paper's pipeline end to end:
 3. build the communication-enhanced DAG,
 4. derive the deadline from the ASAP makespan (factor 2 here) and generate a
    solar-day green-power profile (scenario S1),
-5. run the carbon-unaware ASAP baseline and all sixteen CaWoSched variants,
+5. submit one Job running the carbon-unaware ASAP baseline and all sixteen
+   CaWoSched variants through the repro.api client facade,
 6. print the carbon costs and where the brown energy is consumed.
 
 Run with:  python examples/quickstart.py
@@ -18,13 +19,14 @@ Run with:  python examples/quickstart.py
 from __future__ import annotations
 
 from repro import (
+    Client,
+    Job,
     ProblemInstance,
     asap_makespan,
     build_enhanced_dag,
     generate_power_profile,
     generate_workflow,
     heft_mapping,
-    run_all_variants,
     scaled_small_cluster,
 )
 from repro.schedule.cost import brown_energy_breakdown
@@ -59,8 +61,10 @@ def main() -> None:
     instance = ProblemInstance(dag, profile, name="quickstart")
     print(f"deadline: {deadline} time units (ASAP makespan {tight}, factor 2.0)")
 
-    # 5. Run ASAP and all CaWoSched variants ----------------------------------
-    results = run_all_variants(instance)
+    # 5. Run ASAP and all CaWoSched variants through the client facade --------
+    client = Client()
+    job_result = client.submit(Job.from_instance(instance))
+    results = {result.variant: result for result in job_result.results}
     baseline = results["ASAP"]
     print("\ncarbon cost per algorithm variant (lower is better):")
     for name, result in sorted(results.items(), key=lambda item: item[1].carbon_cost):

@@ -12,7 +12,7 @@ Run with:  python examples/single_processor_optimal.py
 
 from __future__ import annotations
 
-from repro import carbon_cost, run_all_variants
+from repro import Client, Job, carbon_cost
 from repro.exact import dp_single_processor, ilp_optimal
 from repro.experiments.instances import single_processor_instance
 
@@ -54,7 +54,8 @@ def main() -> None:
 
     optimal = dp_single_processor(instance)
     ilp = ilp_optimal(instance)
-    results = run_all_variants(instance)
+    job_result = Client().submit(Job.from_instance(instance))
+    results = {r.variant: r for r in job_result.results}
 
     print(f"{'algorithm':14s} {'carbon cost':>12s}")
     print("-" * 28)

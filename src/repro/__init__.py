@@ -106,6 +106,23 @@ from repro.io import (
     save_instance,
     save_records,
 )
+from repro.api import (
+    AlgorithmCapabilities,
+    AlgorithmRegistry,
+    ApiError,
+    BackendFailure,
+    Client,
+    DEFAULT_REGISTRY,
+    ExecutionBackend,
+    InlineBackend,
+    InvalidJob,
+    Job,
+    JobResult,
+    ProcessBackend,
+    ThreadBackend,
+    UnknownVariant,
+    make_backend,
+)
 from repro.service import (
     ResultCache,
     ScheduleRequest,
@@ -124,7 +141,7 @@ from repro.sim import (
     simulate,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -196,6 +213,22 @@ __all__ = [
     "load_records",
     "save_instance",
     "save_records",
+    # api (the typed client facade)
+    "AlgorithmCapabilities",
+    "AlgorithmRegistry",
+    "ApiError",
+    "BackendFailure",
+    "Client",
+    "DEFAULT_REGISTRY",
+    "ExecutionBackend",
+    "InlineBackend",
+    "InvalidJob",
+    "Job",
+    "JobResult",
+    "ProcessBackend",
+    "ThreadBackend",
+    "UnknownVariant",
+    "make_backend",
     # service
     "ResultCache",
     "ScheduleRequest",

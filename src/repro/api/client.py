@@ -1,0 +1,287 @@
+"""The client facade: the single way work enters the system.
+
+:class:`Client` accepts typed jobs (:class:`~repro.api.jobs.Job`),
+deduplicates them on the canonical fingerprint, serves repeats from one
+bounded LRU result cache, and executes every unique uncached job through a
+pluggable :class:`~repro.api.backends.ExecutionBackend`.  Both submission
+shapes share that one cache:
+
+* :meth:`Client.submit` / :meth:`Client.submit_many` — batch-style: one
+  :class:`~repro.api.jobs.JobResult` per job, in request order, flagged
+  ``cached`` where no scheduling work was done;
+* :meth:`Client.solve` — single-variant, full-result: returns the complete
+  :class:`~repro.core.scheduler.ScheduleResult` including the schedule
+  (what callers that *execute* schedules, like the online simulator,
+  need).
+
+A single-variant job therefore dedupes across paths: ``solve`` followed by
+a batch submission of the same job (or vice versa) computes once.
+
+Errors surface through the structured taxonomy of
+:mod:`repro.api.errors`: malformed jobs raise
+:class:`~repro.api.errors.InvalidJob`, unregistered algorithm names raise
+:class:`~repro.api.errors.UnknownVariant` *before* any work is dispatched,
+and failures inside a backend are wrapped in
+:class:`~repro.api.errors.BackendFailure` with the cause chained.
+
+Examples
+--------
+>>> client = Client()
+>>> job = Job.from_instance(instance, variants=["ASAP", "pressWR-LS"])  # doctest: +SKIP
+>>> client.submit(job).records[0].carbon_cost                           # doctest: +SKIP
+>>> client.submit(job).cached                                           # doctest: +SKIP
+True
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import repro.api.execute as execute
+from repro.api.backends import ExecutionBackend, InlineBackend
+from repro.api.cache import ResultCache
+from repro.api.errors import ApiError, BackendFailure
+from repro.api.jobs import Job, JobResult
+from repro.api.registry import DEFAULT_REGISTRY, AlgorithmRegistry
+from repro.core.scheduler import CaWoSched, ScheduleResult
+from repro.schedule.instance import ProblemInstance
+
+__all__ = ["Client"]
+
+
+class Client:
+    """Typed submission facade with caching, dedupe and pluggable execution.
+
+    Parameters
+    ----------
+    backend:
+        Where unique uncached jobs run; defaults to an
+        :class:`~repro.api.backends.InlineBackend`.
+    cache_size:
+        Bound of the LRU result cache (entries, keyed by job fingerprint).
+        Entries computed in-process retain the full per-variant
+        :class:`~repro.core.scheduler.ScheduleResult` objects (schedules
+        and their instances) so the ``solve`` path can share them — for
+        large instances, size the bound accordingly.
+    registry:
+        Algorithm registry jobs are validated against (and, for in-process
+        backends, dispatched through); defaults to
+        :data:`~repro.api.registry.DEFAULT_REGISTRY`.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: Optional[ExecutionBackend] = None,
+        cache_size: int = 128,
+        registry: Optional[AlgorithmRegistry] = None,
+    ) -> None:
+        self._registry = registry or DEFAULT_REGISTRY
+        self._backend = backend if backend is not None else InlineBackend(registry=registry)
+        if registry is not None:
+            # Hand the registry to a user-supplied in-process backend that
+            # has none, so algorithms the client validates also execute.
+            binder = getattr(self._backend, "bind_registry", None)
+            if binder is not None:
+                binder(registry)
+        self._cache: ResultCache[JobResult] = ResultCache(cache_size)
+        self._submitted = 0
+        self._computed = 0
+        self._solved = 0
+        self._solve_hits = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend fresh jobs run on."""
+        return self._backend
+
+    @property
+    def registry(self) -> AlgorithmRegistry:
+        """The algorithm registry jobs are validated against."""
+        return self._registry
+
+    @property
+    def cache(self) -> ResultCache:
+        """The unified result cache shared by every submission path."""
+        return self._cache
+
+    @property
+    def computed(self) -> int:
+        """Number of unique batch jobs actually scheduled (cache misses)."""
+        return self._computed
+
+    @property
+    def solved(self) -> int:
+        """Number of :meth:`solve` calls actually computed (cache misses)."""
+        return self._solved
+
+    def stats(self) -> Dict[str, object]:
+        """Return client statistics (counters plus cache and backend state)."""
+        return {
+            "submitted": self._submitted,
+            "computed": self._computed,
+            "solved": self._solved,
+            "solve_hits": self._solve_hits,
+            **self._cache.stats(),
+            "backend": self._backend.stats(),
+        }
+
+    # ------------------------------------------------------------------ #
+    def _validate(self, job: Job) -> None:
+        """Reject malformed jobs and unknown variant names before dispatch."""
+        job.validate()
+        for name in job.variants:
+            self._registry.get(name)
+
+    @staticmethod
+    def _relabelled(result: JobResult, job: Job) -> JobResult:
+        """Re-stamp cached records with the requesting job's instance labels.
+
+        The fingerprint deliberately ignores instance ``name``/``metadata``,
+        so a cache entry may have been computed for a differently-labelled
+        twin of *job*'s instance.  The schedule content is identical, but
+        records denormalise the labels — restore the requester's, exactly
+        as a fresh run of this job would have produced them.
+        """
+        payload = job.payload
+        if payload is None or not result.records:
+            return result
+        meta = dict(payload.get("metadata", {}))
+        labels = {
+            "instance": str(payload.get("name", "instance")),
+            "family": str(meta.get("family", meta.get("workflow", ""))),
+            "cluster": str(meta.get("cluster", "")),
+            "scenario": str(meta.get("scenario", "")),
+            "deadline_factor": float(meta.get("deadline_factor", 0.0)),
+        }
+        if all(
+            getattr(record, field) == value
+            for record in result.records
+            for field, value in labels.items()
+        ):
+            return result
+        records = tuple(
+            dataclasses.replace(record, **labels) for record in result.records
+        )
+        return dataclasses.replace(result, records=records)
+
+    def _execute_fresh(self, jobs: Sequence[Job]) -> List[JobResult]:
+        """Run *jobs* on the backend, wrapping failures uniformly."""
+        try:
+            for job in jobs:
+                self._backend.submit(job)
+            outcomes = self._backend.gather()
+        except ApiError:
+            raise
+        except Exception as exc:
+            raise BackendFailure(
+                f"backend {self._backend.name!r} failed: {exc}"
+            ) from exc
+        return [
+            JobResult(
+                fingerprint=job.fingerprint,
+                variants=job.variants,
+                records=outcome.records,
+                cached=False,
+                backend=self._backend.name,
+                results=outcome.results,
+            )
+            for job, outcome in zip(jobs, outcomes)
+        ]
+
+    def submit(self, job: Job) -> JobResult:
+        """Serve a single job (equivalent to a one-element batch)."""
+        return self.submit_many([job])[0]
+
+    def submit_many(self, jobs: Sequence[Job]) -> List[JobResult]:
+        """Serve a batch of jobs.
+
+        Duplicate jobs (same fingerprint) are scheduled once: the first
+        occurrence computes (or reuses an earlier submission's cache
+        entry), every other occurrence is answered from the cache.
+        Results come back in request order.
+        """
+        jobs = list(jobs)
+        for job in jobs:
+            self._validate(job)
+        self._submitted += len(jobs)
+        fingerprints = [job.fingerprint for job in jobs]
+
+        # Which fingerprints need fresh work, keyed by first occurrence.
+        fresh: Dict[str, Job] = {}
+        for fingerprint, job in zip(fingerprints, jobs):
+            if fingerprint not in fresh and fingerprint not in self._cache:
+                fresh[fingerprint] = job
+
+        computed: Dict[str, JobResult] = {}
+        if fresh:
+            for result in self._execute_fresh(list(fresh.values())):
+                computed[result.fingerprint] = result
+                self._cache.put(result.fingerprint, result)
+            self._computed += len(fresh)
+
+        responses: List[JobResult] = []
+        for fingerprint, job in zip(fingerprints, jobs):
+            if fingerprint in computed:
+                # First occurrence of a fresh job: answered from this
+                # batch's computation, not from the cache.
+                responses.append(computed.pop(fingerprint))
+                continue
+            entry = self._cache.get(fingerprint)
+            if entry is None:
+                # The batch contained more unique jobs than the cache can
+                # hold and this entry was already evicted; recompute.
+                entry = self._execute_fresh([job])[0]
+                self._cache.put(fingerprint, entry)
+                self._computed += 1
+                responses.append(entry)
+                continue
+            responses.append(self._relabelled(entry.as_cached(), job))
+        return responses
+
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        instance: ProblemInstance,
+        variant: str,
+        *,
+        scheduler: Optional[CaWoSched] = None,
+    ) -> ScheduleResult:
+        """Schedule one variant on one instance, returning the full result.
+
+        Runs through the same cache as the batch path (a single-variant
+        job submitted either way computes once), but always executes
+        in-process so the returned :class:`ScheduleResult` references the
+        *live* instance and includes the schedule.  A cached entry that
+        carries flat records only (computed by a process backend) is
+        upgraded in place.
+        """
+        scheduler = scheduler or CaWoSched()
+        job = Job.from_instance(instance, variants=(variant,), scheduler=scheduler)
+        self._validate(job)
+        fingerprint = job.fingerprint
+        entry = self._cache.get(fingerprint)
+        if entry is not None and entry.results is not None:
+            self._solve_hits += 1
+            return entry.results[0]
+        try:
+            results, records = execute.execute_job(job, registry=self._registry)
+        except ApiError:
+            raise
+        except Exception as exc:
+            raise BackendFailure(f"backend 'inline' failed: {exc}") from exc
+        self._cache.put(
+            fingerprint,
+            JobResult(
+                fingerprint=fingerprint,
+                variants=job.variants,
+                records=records,
+                cached=False,
+                backend="inline",
+                results=results,
+            ),
+        )
+        self._solved += 1
+        return results[0]

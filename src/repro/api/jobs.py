@@ -1,0 +1,437 @@
+"""Typed jobs: the one unit of work every entry point submits.
+
+A :class:`Job` is self-contained plain data describing *what* to schedule —
+a problem instance (inline wire payload, live object, or a grid-cell spec
+materialised on demand), the algorithm variants to run, the scheduler
+configuration, and routing metadata (priority, tags).  Being plain data it
+can be read from a JSON batch file, shipped to a worker process, and —
+crucially — content-hashed: :attr:`Job.fingerprint` is *the* canonical
+cache and deduplication key of the whole system.
+
+The fingerprint is deliberately normalised: the instance's ``name`` and
+``metadata`` are stripped before hashing, because the produced schedule
+depends only on the DAG, the mapping and the power profile.  Two jobs for
+identically-shaped problems therefore dedupe regardless of how their
+instances are labelled, and regardless of which path (batch submission or
+single-variant :meth:`~repro.api.client.Client.solve`) they enter through.
+Priority and tags are routing metadata, not content, and are likewise not
+part of the fingerprint.
+
+A :class:`JobResult` pairs the fingerprint with the produced records (one
+flat :class:`~repro.experiments.runner.RunRecord` per variant) and — when
+the executing backend runs in-process — the full
+:class:`~repro.core.scheduler.ScheduleResult` objects including the
+schedules themselves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.errors import BackendFailure, InvalidJob
+from repro.core.scheduler import CaWoSched, ScheduleResult
+from repro.core.variants import variant_names
+from repro.experiments.runner import RunRecord
+from repro.io.wire import canonical_json, instance_from_dict, instance_to_dict
+from repro.schedule.instance import ProblemInstance
+
+__all__ = ["Job", "JobResult", "job_fingerprint"]
+
+#: Keys of a normalised grid-cell spec (see :class:`repro.experiments.instances.InstanceSpec`).
+_SPEC_KEYS = ("family", "tasks", "cluster", "scenario", "deadline_factor", "seed")
+
+
+def job_fingerprint(
+    problem: Mapping[str, object],
+    variants: Sequence[str],
+    scheduler: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Return the canonical content-hash of a job.
+
+    SHA-256 over the canonical JSON of ``(problem content, variants,
+    scheduler configuration)``.  The instance payload's ``name`` and
+    ``metadata`` labels are stripped first: the schedule depends only on
+    the problem content, so identically-shaped problems share a fingerprint
+    no matter how they are labelled.  Every submission path — batch
+    requests, ``solve``, the wire protocol — hashes through this one
+    function.
+    """
+    problem = dict(problem)
+    problem.pop("name", None)
+    problem.pop("metadata", None)
+    body = {
+        "instance": problem,
+        "variants": [str(v) for v in variants],
+        "scheduler": dict(scheduler or {}),
+    }
+    return hashlib.sha256(canonical_json(body).encode("utf8")).hexdigest()
+
+
+def _normalise_spec(spec_data: Mapping[str, object]) -> Dict[str, object]:
+    """Coerce a raw spec mapping onto the canonical spec keys (eagerly).
+
+    Validation is eager (malformed values fail at job construction time),
+    materialisation is lazy (the workflow is only generated when the
+    instance is actually needed — possibly inside a worker process).
+    """
+    spec_data = dict(spec_data)
+    try:
+        return {
+            "family": str(spec_data["family"]),
+            "tasks": int(spec_data.get("tasks", spec_data.get("num_tasks"))),
+            "cluster": str(spec_data.get("cluster", "small")),
+            "scenario": str(spec_data.get("scenario", "S1")),
+            "deadline_factor": float(spec_data.get("deadline_factor", 2.0)),
+            "seed": int(spec_data.get("seed", 0)),
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidJob(f"malformed job spec {spec_data!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Job:
+    """One self-contained scheduling job.
+
+    Exactly one of *payload* (an inline wire-format instance) and *spec*
+    (a grid-cell description materialised deterministically on demand) must
+    be set.  Build jobs through the classmethods rather than the raw
+    constructor.
+
+    Attributes
+    ----------
+    payload:
+        The problem instance as a wire payload
+        (:func:`repro.io.wire.instance_to_dict` output), or ``None`` for
+        spec-defined jobs.
+    spec:
+        Normalised grid-cell spec (keys ``family``, ``tasks``, ``cluster``,
+        ``scenario``, ``deadline_factor``, ``seed``), or ``None`` for
+        payload-defined jobs.
+    variants:
+        The algorithm variants to run, in order.
+    scheduler:
+        The scheduler configuration
+        (:meth:`repro.core.scheduler.CaWoSched.config_dict` output).
+    priority:
+        Routing priority (not part of the fingerprint).
+    tags:
+        Free-form routing labels (not part of the fingerprint).
+    master_seed:
+        Master seed combined with a spec's coordinates at materialisation
+        (spec-defined jobs only).
+    """
+
+    payload: Optional[Dict[str, object]] = None
+    spec: Optional[Dict[str, object]] = None
+    variants: Tuple[str, ...] = ()
+    scheduler: Dict[str, object] = field(default_factory=dict)
+    priority: int = 0
+    tags: Tuple[str, ...] = ()
+    master_seed: Optional[int] = None
+    #: Optional live instance matching *payload*, kept so in-process
+    #: execution can skip the deserialisation round trip.  Not part of the
+    #: job's identity (fingerprint), equality or serialised form.
+    live_instance: Optional[ProblemInstance] = field(
+        default=None, compare=False, repr=False
+    )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_instance(
+        cls,
+        instance: ProblemInstance,
+        *,
+        variants: Optional[Sequence[str]] = None,
+        scheduler: Optional[CaWoSched] = None,
+        priority: int = 0,
+        tags: Sequence[str] = (),
+    ) -> "Job":
+        """Build a job from a live problem instance.
+
+        *variants* defaults to all built-in algorithm variants; *scheduler*
+        defaults to the paper's parameters.
+        """
+        scheduler = scheduler or CaWoSched()
+        names = tuple(variants) if variants is not None else tuple(variant_names())
+        return cls(
+            payload=instance_to_dict(instance),
+            variants=names,
+            scheduler=scheduler.config_dict(),
+            priority=int(priority),
+            tags=tuple(str(t) for t in tags),
+            live_instance=instance,
+        )
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: object,
+        *,
+        variants: Optional[Sequence[str]] = None,
+        scheduler: Optional[CaWoSched] = None,
+        master_seed: Optional[int] = None,
+        priority: int = 0,
+        tags: Sequence[str] = (),
+    ) -> "Job":
+        """Build a job from a grid-cell spec (lazy materialisation).
+
+        *spec* is an :class:`~repro.experiments.instances.InstanceSpec` or a
+        mapping with its keys.  The spec is validated eagerly but the
+        instance is only generated when needed — for spec jobs shipped to a
+        worker pool, that is inside the worker.
+        """
+        from repro.experiments.instances import InstanceSpec
+
+        if isinstance(spec, InstanceSpec):
+            spec_data: Dict[str, object] = {
+                "family": spec.family,
+                "tasks": spec.num_tasks,
+                "cluster": spec.cluster,
+                "scenario": spec.scenario,
+                "deadline_factor": spec.deadline_factor,
+                "seed": spec.seed,
+            }
+        elif isinstance(spec, Mapping):
+            spec_data = _normalise_spec(spec)
+        else:
+            raise InvalidJob(
+                f"job spec must be an InstanceSpec or a mapping, got {type(spec).__name__}"
+            )
+        scheduler = scheduler or CaWoSched()
+        names = tuple(variants) if variants is not None else tuple(variant_names())
+        return cls(
+            spec=spec_data,
+            variants=names,
+            scheduler=scheduler.config_dict(),
+            priority=int(priority),
+            tags=tuple(str(t) for t in tags),
+            master_seed=None if master_seed is None else int(master_seed),
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Job":
+        """Build a job from plain data (e.g. one entry of a batch file).
+
+        Accepts either an inline ``"instance"`` wire payload or a
+        ``"spec"`` grid-cell description, plus optional ``"variants"``,
+        ``"scheduler"``, ``"priority"``, ``"tags"`` and ``"master_seed"``.
+
+        Raises
+        ------
+        InvalidJob
+            If neither (or both) instance sources are present, or the spec
+            or scheduler configuration is malformed.
+        """
+        has_instance = "instance" in data
+        has_spec = "spec" in data
+        if has_instance == has_spec:
+            raise InvalidJob(
+                "a job needs either an 'instance' payload or a 'spec' (exactly one)"
+            )
+        payload = dict(data["instance"]) if has_instance else None
+        spec = _normalise_spec(data["spec"]) if has_spec else None
+        variants = data.get("variants")
+        names = tuple(str(v) for v in variants) if variants else tuple(variant_names())
+        try:
+            scheduler = CaWoSched.from_config(data.get("scheduler"))
+        except (TypeError, ValueError) as exc:
+            raise InvalidJob(
+                f"malformed scheduler config {data.get('scheduler')!r}: {exc}"
+            ) from exc
+        master_seed = data.get("master_seed")
+        return cls(
+            payload=payload,
+            spec=spec,
+            variants=names,
+            scheduler=scheduler.config_dict(),
+            priority=int(data.get("priority", 0)),
+            tags=tuple(str(t) for t in data.get("tags", ())),
+            master_seed=None if master_seed is None else int(master_seed),
+        )
+
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check the job's own structure (not the variant names).
+
+        Raises
+        ------
+        InvalidJob
+            If the job names neither (or both of) a payload and a spec, or
+            the variant list is empty.
+        """
+        if (self.payload is None) == (self.spec is None):
+            raise InvalidJob(
+                "a job needs either an 'instance' payload or a 'spec' (exactly one)"
+            )
+        if not self.variants:
+            raise InvalidJob("a job needs at least one algorithm variant")
+
+    def instance(self) -> ProblemInstance:
+        """Return the job's problem instance, materialising it if needed.
+
+        Payload-defined jobs rebuild through the (exact) wire round trip;
+        spec-defined jobs are generated deterministically from the spec and
+        the master seed.  The materialised instance is cached on the job.
+        """
+        if self.live_instance is not None:
+            return self.live_instance
+        cached = getattr(self, "_instance", None)
+        if cached is not None:
+            return cached
+        if self.payload is not None:
+            built = instance_from_dict(self.payload)
+        else:
+            from repro.experiments.instances import InstanceSpec, make_instance
+
+            spec = InstanceSpec(
+                family=str(self.spec["family"]),
+                num_tasks=int(self.spec["tasks"]),
+                cluster=str(self.spec["cluster"]),
+                scenario=str(self.spec["scenario"]),
+                deadline_factor=float(self.spec["deadline_factor"]),
+                seed=int(self.spec["seed"]),
+            )
+            built = make_instance(spec, master_seed=self.master_seed)
+        object.__setattr__(self, "_instance", built)
+        return built
+
+    def problem_payload(self) -> Dict[str, object]:
+        """Return the instance as a wire payload (materialising spec jobs)."""
+        if self.payload is not None:
+            return dict(self.payload)
+        return instance_to_dict(self.instance())
+
+    @property
+    def fingerprint(self) -> str:
+        """Canonical content-hash identity of the job (cached).
+
+        See :func:`job_fingerprint` for the normalisation rules.  Spec jobs
+        are materialised on first access so that spec-defined and
+        payload-defined jobs for the same problem share a fingerprint.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            cached = job_fingerprint(self.problem_payload(), self.variants, self.scheduler)
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return the job as plain data (inverse of :meth:`from_dict`).
+
+        Spec-defined jobs serialise their spec (so workers materialise),
+        payload-defined jobs their payload; priority and tags only appear
+        when set.
+        """
+        data: Dict[str, object] = {}
+        if self.payload is not None:
+            data["instance"] = dict(self.payload)
+        else:
+            data["spec"] = dict(self.spec)
+            if self.master_seed is not None:
+                data["master_seed"] = self.master_seed
+        data["variants"] = list(self.variants)
+        data["scheduler"] = dict(self.scheduler)
+        if self.priority:
+            data["priority"] = self.priority
+        if self.tags:
+            data["tags"] = list(self.tags)
+        return data
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """The facade's answer to one job.
+
+    Attributes
+    ----------
+    fingerprint:
+        The job's canonical fingerprint (cache key).
+    variants:
+        The variants that were run, in job order.
+    records:
+        One flat :class:`RunRecord` per variant, in job order.
+    cached:
+        Whether the records were served from the result cache rather than
+        computed for this submission.
+    backend:
+        Name of the backend that computed the entry.
+    results:
+        The full per-variant :class:`ScheduleResult` objects (including the
+        schedules), when the computing backend ran in-process; ``None``
+        when only flat records crossed a process boundary.  Not part of
+        equality or the serialised form.
+    """
+
+    fingerprint: str
+    variants: Tuple[str, ...]
+    records: Tuple[RunRecord, ...]
+    cached: bool = False
+    backend: str = "inline"
+    results: Optional[Tuple[ScheduleResult, ...]] = field(
+        default=None, compare=False, repr=False
+    )
+
+    # ------------------------------------------------------------------ #
+    def result(self, variant: Optional[str] = None) -> ScheduleResult:
+        """Return the full :class:`ScheduleResult` for *variant*.
+
+        Defaults to the job's only variant.  Raises
+        :class:`BackendFailure` when the computing backend did not retain
+        full results (e.g. the process pool, which ships flat records
+        only).
+        """
+        if self.results is None:
+            raise BackendFailure(
+                f"backend {self.backend!r} returned flat records only; "
+                "use an in-process backend for full schedule results"
+            )
+        if variant is None:
+            if len(self.variants) != 1:
+                raise ValueError(
+                    f"job ran {len(self.variants)} variants; pass variant= explicitly"
+                )
+            return self.results[0]
+        try:
+            return self.results[self.variants.index(variant)]
+        except ValueError:
+            raise ValueError(
+                f"variant {variant!r} was not part of this job: {self.variants}"
+            ) from None
+
+    def as_cached(self) -> "JobResult":
+        """Return this result flagged as served-from-cache."""
+        if self.cached:
+            return self
+        return replace(self, cached=True, results=self.results)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return the result as plain data (schedules are not included)."""
+        return {
+            "fingerprint": self.fingerprint,
+            "variants": list(self.variants),
+            "cached": self.cached,
+            "backend": self.backend,
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "JobResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        records: List[RunRecord] = [
+            RunRecord.from_dict(entry) for entry in data.get("records", [])
+        ]
+        variants = data.get("variants")
+        names = (
+            tuple(str(v) for v in variants)
+            if variants is not None
+            else tuple(record.variant for record in records)
+        )
+        return cls(
+            fingerprint=str(data["fingerprint"]),
+            variants=names,
+            records=tuple(records),
+            cached=bool(data.get("cached", False)),
+            backend=str(data.get("backend", "inline")),
+        )

@@ -9,16 +9,24 @@ Python:
 * ``grid`` — run an experiment grid (optionally over ``--jobs N`` parallel
   workers) and print the headline summaries; ``--out`` writes the raw records
   as wire-format JSON;
-* ``batch`` — serve a JSON file of scheduling requests through the
-  :class:`~repro.service.service.SchedulingService` (deduplication, result
-  cache, worker pool);
+* ``batch`` — serve a JSON file of scheduling jobs through the client
+  facade (deduplication, result cache, worker pool);
 * ``export`` — build one instance and write it as wire-format JSON;
 * ``import`` — read a wire-format instance file and schedule it;
 * ``simulate`` — run the online discrete-event simulator (workflow arrivals,
   carbon forecasts, scheduling policies) and print the online metrics;
   ``--out`` writes the full report as wire-format JSON;
-* ``variants`` — list the available algorithm variants (``--json`` for a
-  machine-readable listing).
+* ``variants`` — list the registered algorithm variants (``--json`` for a
+  machine-readable listing with the registry's capability metadata).
+
+Every subcommand routes its scheduling work through the typed client
+facade (:mod:`repro.api`): jobs are validated up front, results are served
+through one canonical fingerprint cache, and failures surface with the
+facade's structured exit codes — ``2`` for a malformed job
+(:class:`~repro.api.errors.InvalidJob`), ``3`` for an unknown algorithm
+variant (:class:`~repro.api.errors.UnknownVariant`), ``4`` for an
+execution-backend failure (:class:`~repro.api.errors.BackendFailure`).
+Argument and input-file problems keep argparse's conventional exit code 2.
 
 Invoke via ``python -m repro ...`` or the ``cawosched`` console script::
 
@@ -42,8 +50,10 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.api import ApiError, Client, Job, make_backend
+from repro.api.registry import DEFAULT_REGISTRY
 from repro.core.scheduler import CaWoSched
-from repro.core.variants import ALL_VARIANTS, variant_names
+from repro.core.variants import variant_names
 from repro.experiments.instances import (
     DEFAULT_DEADLINE_FACTORS,
     DEFAULT_SCENARIOS,
@@ -53,7 +63,7 @@ from repro.experiments.instances import (
 )
 from repro.experiments.metrics import median_cost_ratio, rank_distribution
 from repro.experiments.reporting import format_mapping, format_table
-from repro.experiments.runner import RunRecord, run_grid, run_instance
+from repro.experiments.runner import RunRecord, run_grid
 from repro.io.wire import (
     load_instance,
     save_instance,
@@ -61,7 +71,6 @@ from repro.io.wire import (
     save_records,
     save_sim_report,
 )
-from repro.service import ScheduleRequest, SchedulingService
 from repro.sim.arrivals import ARRIVAL_PROCESSES
 from repro.sim.engine import SimulationConfig, simulate
 from repro.sim.forecast import FORECAST_MODELS
@@ -272,9 +281,9 @@ def _print_cost_table(instance, records: Sequence[RunRecord]) -> None:
 def _run_schedule(args: argparse.Namespace) -> int:
     instance = make_instance(_spec_from_args(args))
     scheduler = CaWoSched(block_size=args.block_size, window=args.window)
-    names = args.variants if args.variants else variant_names()
-    records = run_instance(instance, variants=names, scheduler=scheduler)
-    _print_cost_table(instance, records)
+    job = Job.from_instance(instance, variants=args.variants, scheduler=scheduler)
+    result = Client().submit(job)
+    _print_cost_table(instance, result.records)
     return 0
 
 
@@ -323,35 +332,36 @@ def _run_batch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
             "(either top-level or under a 'requests' key)"
         )
     try:
-        requests = [ScheduleRequest.from_dict(entry) for entry in entries]
+        jobs = [Job.from_dict(entry) for entry in entries]
     except CaWoSchedError as exc:
         parser.error(f"requests file {path}: {exc}")
 
     if args.cache_size <= 0:
         parser.error(f"--cache-size must be positive, got {args.cache_size}")
-    service = SchedulingService(cache_size=args.cache_size, jobs=args.jobs)
-    try:
-        responses = service.submit_batch(requests)
-    except CaWoSchedError as exc:
-        parser.error(f"requests file {path}: {exc}")
+    client = Client(
+        backend=make_backend("process", args.jobs), cache_size=args.cache_size
+    )
+    # Facade errors (unknown variants, backend failures) propagate to
+    # main(), which maps them onto the structured exit codes.
+    results = client.submit_many(jobs)
 
     rows = []
-    for index, response in enumerate(responses):
-        for record in response.records:
+    for index, result in enumerate(results):
+        for record in result.records:
             rows.append(
                 [index, record.instance, record.variant, record.carbon_cost,
-                 "yes" if response.cached else "no"]
+                 "yes" if result.cached else "no"]
             )
     print(format_table(rows, ["request", "instance", "variant", "carbon cost", "cached"]))
-    stats = service.stats()
+    stats = client.stats()
     print(
-        f"\n{len(requests)} requests, {stats['computed']} scheduled, "
+        f"\n{len(jobs)} requests, {stats['computed']} scheduled, "
         f"{stats['hits']} served from cache "
         f"(cache {stats['size']}/{stats['max_size']}, {stats['evictions']} evictions)"
     )
     if args.out:
-        save_payload("responses", [response.to_dict() for response in responses], args.out)
-        print(f"wrote {len(responses)} responses to {args.out}")
+        save_payload("responses", [result.to_dict() for result in results], args.out)
+        print(f"wrote {len(results)} responses to {args.out}")
     return 0
 
 
@@ -374,9 +384,9 @@ def _run_import(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
     except CaWoSchedError as exc:
         parser.error(f"instance file {path}: {exc}")
     scheduler = CaWoSched(block_size=args.block_size, window=args.window)
-    names = args.variants if args.variants else variant_names()
-    records = run_instance(instance, variants=names, scheduler=scheduler)
-    _print_cost_table(instance, records)
+    job = Job.from_instance(instance, variants=args.variants, scheduler=scheduler)
+    result = Client().submit(job)
+    _print_cost_table(instance, result.records)
     return 0
 
 
@@ -448,44 +458,40 @@ def _run_simulate(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
 
 def _run_variants(args: argparse.Namespace) -> int:
     if args.json:
-        listing = []
-        for name in variant_names():
-            spec = ALL_VARIANTS[name]
-            listing.append(
-                {
-                    "name": spec.name,
-                    "score": spec.base,
-                    "weighted": spec.weighted,
-                    "refined": spec.refined,
-                    "local_search": spec.local_search,
-                    "baseline": spec.is_baseline,
-                }
-            )
-        print(json.dumps(listing, indent=2))
+        print(json.dumps(DEFAULT_REGISTRY.describe(), indent=2))
         return 0
-    for name in variant_names():
+    for name in DEFAULT_REGISTRY.names():
         print(name)
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Facade errors map onto the structured exit codes of
+    :mod:`repro.api.errors`: 2 = invalid job, 3 = unknown algorithm
+    variant, 4 = execution-backend failure.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "schedule":
-        return _run_schedule(args)
-    if args.command == "grid":
-        return _run_grid(args)
-    if args.command == "batch":
-        return _run_batch(args, parser)
-    if args.command == "export":
-        return _run_export(args)
-    if args.command == "import":
-        return _run_import(args, parser)
-    if args.command == "simulate":
-        return _run_simulate(args, parser)
-    if args.command == "variants":
-        return _run_variants(args)
+    try:
+        if args.command == "schedule":
+            return _run_schedule(args)
+        if args.command == "grid":
+            return _run_grid(args)
+        if args.command == "batch":
+            return _run_batch(args, parser)
+        if args.command == "export":
+            return _run_export(args)
+        if args.command == "import":
+            return _run_import(args, parser)
+        if args.command == "simulate":
+            return _run_simulate(args, parser)
+        if args.command == "variants":
+            return _run_variants(args)
+    except ApiError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return exc.exit_code
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -147,7 +147,15 @@ class CaWoSched:
         instance: ProblemInstance,
         variants: Optional[Iterable[str]] = None,
     ) -> Dict[str, ScheduleResult]:
-        """Run several variants (default: all 17) on *instance*."""
+        """Run several variants (default: all 17) on *instance*.
+
+        .. deprecated::
+            As a *submission* entry point, prefer
+            :class:`repro.api.client.Client` with a
+            :class:`repro.api.jobs.Job` — it adds caching, deduplication
+            and pluggable execution with byte-identical results.  Direct
+            use remains supported for algorithm-level work.
+        """
         names = list(variants) if variants is not None else variant_names()
         return {name: self.run(instance, name) for name in names}
 
@@ -159,7 +167,13 @@ def run_variant(
     block_size: int = DEFAULT_BLOCK_SIZE,
     window: int = DEFAULT_WINDOW,
 ) -> ScheduleResult:
-    """Convenience wrapper: run a single variant with default parameters."""
+    """Convenience wrapper: run a single variant with default parameters.
+
+    .. deprecated::
+        As a *submission* entry point, prefer
+        :meth:`repro.api.client.Client.solve`, which serves repeated plans
+        from the canonical fingerprint cache with byte-identical results.
+    """
     return CaWoSched(block_size=block_size, window=window).run(instance, variant)
 
 
@@ -170,5 +184,12 @@ def run_all_variants(
     block_size: int = DEFAULT_BLOCK_SIZE,
     window: int = DEFAULT_WINDOW,
 ) -> Dict[str, ScheduleResult]:
-    """Convenience wrapper: run a set of variants with default parameters."""
+    """Convenience wrapper: run a set of variants with default parameters.
+
+    .. deprecated::
+        As a *submission* entry point, prefer
+        :meth:`repro.api.client.Client.submit` with a
+        :class:`repro.api.jobs.Job`, which adds caching, deduplication and
+        pluggable execution with byte-identical results.
+    """
     return CaWoSched(block_size=block_size, window=window).run_many(instance, variants)

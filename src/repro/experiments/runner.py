@@ -7,22 +7,29 @@ runs the requested algorithm variants on it, and emits one
 :mod:`repro.experiments.metrics`) operates on lists of these records, which
 keeps the figure generators independent from how the runs were produced.
 
-:func:`run_grid` can fan the grid cells out over a worker pool
-(``jobs=N``): each cell derives its random streams from the master seed and
-its own coordinates only, so the parallel path produces exactly the same
-records as the sequential one (up to wall-clock timings), in the same order.
+Both entry points are thin shims over the :mod:`repro.api` facade and
+produce byte-identical records to the pre-facade implementation:
+:func:`run_instance` executes one :class:`~repro.api.jobs.Job` in-process,
+and :func:`run_grid` submits one spec-defined job per grid cell to an
+execution backend (``jobs=N`` fans the cells out over a worker pool; each
+cell derives its random streams from the master seed and its own
+coordinates only, so the parallel path produces exactly the same records as
+the sequential one, up to wall-clock timings, in the same order).
+
+The facade imports are deferred: :mod:`repro.api` composes this module's
+:class:`RunRecord` into its results, so importing it at module load time
+would be circular.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.scheduler import CaWoSched
-from repro.core.variants import variant_names
 from repro.experiments.instances import InstanceSpec, make_instance
 from repro.schedule.instance import ProblemInstance
 from repro.utils.rng import RNGLike
@@ -96,43 +103,20 @@ def run_instance(
     variants: Optional[Sequence[str]] = None,
     scheduler: Optional[CaWoSched] = None,
 ) -> List[RunRecord]:
-    """Run *variants* (default: all) on a single instance."""
-    scheduler = scheduler or CaWoSched()
-    names = list(variants) if variants is not None else variant_names()
-    records: List[RunRecord] = []
-    meta = instance.metadata
-    for name in names:
-        result = scheduler.run(instance, name)
-        records.append(
-            RunRecord(
-                instance=instance.name,
-                variant=name,
-                carbon_cost=result.carbon_cost,
-                runtime_seconds=result.runtime_seconds,
-                makespan=result.makespan,
-                deadline=instance.deadline,
-                num_tasks=instance.num_tasks,
-                family=str(meta.get("family", meta.get("workflow", ""))),
-                cluster=str(meta.get("cluster", "")),
-                scenario=str(meta.get("scenario", "")),
-                deadline_factor=float(meta.get("deadline_factor", 0.0)),
-            )
-        )
-    return records
+    """Run *variants* (default: all) on a single instance.
 
-
-def _run_cell(
-    job: Tuple[InstanceSpec, Optional[Tuple[str, ...]], Dict[str, object], Optional[int]],
-) -> List[RunRecord]:
-    """Materialise and run one grid cell (worker function of the jobs pool).
-
-    Module-level so that :class:`concurrent.futures.ProcessPoolExecutor` can
-    pickle it; everything it receives and returns is picklable plain data.
+    .. deprecated::
+        Thin shim over the facade — prefer submitting a
+        :class:`repro.api.jobs.Job` through
+        :class:`repro.api.client.Client` in new code; results are
+        byte-identical.
     """
-    spec, variants, scheduler_config, master_seed = job
-    instance = make_instance(spec, master_seed=master_seed)
-    scheduler = CaWoSched.from_config(scheduler_config)
-    return run_instance(instance, variants=variants, scheduler=scheduler)
+    from repro.api.execute import execute_job
+    from repro.api.jobs import Job
+
+    job = Job.from_instance(instance, variants=variants, scheduler=scheduler)
+    _, records = execute_job(job)
+    return list(records)
 
 
 def run_grid(
@@ -164,13 +148,18 @@ def run_grid(
         Optional callback receiving a short message per completed instance.
     jobs:
         Number of parallel workers.  ``1`` (the default) runs sequentially in
-        this process; ``N > 1`` fans the cells out over a worker pool and
-        produces identical records in the identical order (cells derive their
-        randomness from the master seed and their own coordinates only).
+        this process; ``N > 1`` fans one spec-defined job per cell out over
+        an execution backend and produces identical records in the identical
+        order (cells derive their randomness from the master seed and their
+        own coordinates only).
     executor:
         Worker pool flavour for ``jobs > 1``: ``"process"`` (default) or
         ``"thread"``.
     """
+    from repro.api.backends import make_backend
+    from repro.api.execute import execute_job
+    from repro.api.jobs import Job
+
     scheduler = scheduler or CaWoSched()
     specs = list(specs)
 
@@ -180,20 +169,18 @@ def run_grid(
                 "run_grid(jobs>1) needs an integer (or None) master_seed; a live "
                 "generator would make results depend on evaluation order"
             )
-        from repro.service.pool import parallel_map
-
-        jobs_args = [
-            (spec, tuple(variants) if variants is not None else None,
-             scheduler.config_dict(), master_seed)
-            for spec in specs
-        ]
+        backend = make_backend(executor, jobs)
+        for spec in specs:
+            backend.submit(
+                Job.from_spec(
+                    spec, variants=variants, scheduler=scheduler, master_seed=master_seed
+                )
+            )
         records: List[RunRecord] = []
-        for spec, cell_records in zip(
-            specs, parallel_map(_run_cell, jobs_args, jobs=jobs, executor=executor)
-        ):
-            records.extend(cell_records)
+        for spec, outcome in zip(specs, backend.gather()):
+            records.extend(outcome.records)
             if progress is not None:
-                elapsed = sum(r.runtime_seconds for r in cell_records)
+                elapsed = sum(r.runtime_seconds for r in outcome.records)
                 progress(f"{spec.label}: {elapsed:.2f}s")
         return records
 
@@ -201,9 +188,9 @@ def run_grid(
     for spec in specs:
         instance = make_instance(spec, master_seed=master_seed)
         started = time.perf_counter()
-        records.extend(
-            run_instance(instance, variants=variants, scheduler=scheduler)
-        )
+        job = Job.from_instance(instance, variants=variants, scheduler=scheduler)
+        _, cell_records = execute_job(job)
+        records.extend(cell_records)
         if progress is not None:
             elapsed = time.perf_counter() - started
             progress(f"{spec.label}: {elapsed:.2f}s")

@@ -93,7 +93,7 @@ def run_sim_grid(
         Worker pool flavour for ``jobs > 1``: ``"process"`` (default) or
         ``"thread"``.
     """
-    from repro.service.pool import parallel_map
+    from repro.api.pool import parallel_map
     from repro.sim.report import SimReport
 
     payloads = [config.to_dict() for config in configs]

@@ -65,6 +65,11 @@ __all__ = [
     "records_from_dict",
     "sim_report_to_dict",
     "sim_report_from_dict",
+    "job_to_dict",
+    "job_from_dict",
+    "job_result_to_dict",
+    "job_result_from_dict",
+    "error_to_dict",
     "dumps",
     "loads",
     "save",
@@ -76,6 +81,10 @@ __all__ = [
     "load_records",
     "save_sim_report",
     "load_sim_report",
+    "save_job",
+    "load_job",
+    "save_job_result",
+    "load_job_result",
 ]
 
 #: Identifier of the wire format (the envelope's ``format`` field).
@@ -308,18 +317,67 @@ def sim_report_from_dict(payload: TMapping[str, object]):
 
 
 # ---------------------------------------------------------------------- #
+# Jobs and job results (the repro.api facade)
+# ---------------------------------------------------------------------- #
+def job_to_dict(job) -> Dict[str, object]:
+    """Serialise a :class:`repro.api.jobs.Job` (delegates to ``to_dict``)."""
+    return job.to_dict()
+
+
+def job_from_dict(payload: TMapping[str, object]):
+    """Rebuild a :class:`repro.api.jobs.Job` from its payload.
+
+    The import is deferred: :mod:`repro.api` composes this module's
+    helpers, so importing it at module load time would be circular.
+    """
+    from repro.api.jobs import Job
+
+    return Job.from_dict(payload)
+
+
+def job_result_to_dict(result) -> Dict[str, object]:
+    """Serialise a :class:`repro.api.jobs.JobResult` (delegates to ``to_dict``)."""
+    return result.to_dict()
+
+
+def job_result_from_dict(payload: TMapping[str, object]):
+    """Rebuild a :class:`repro.api.jobs.JobResult` from its payload."""
+    from repro.api.jobs import JobResult
+
+    return JobResult.from_dict(payload)
+
+
+def error_to_dict(exc: BaseException) -> Dict[str, object]:
+    """Serialise an exception into the wire ``"error"`` payload.
+
+    Delegates to :func:`repro.api.errors.error_payload`, which maps the
+    facade's structured taxonomy onto stable codes and exit codes.
+    """
+    from repro.api.errors import error_payload
+
+    return error_payload(exc)
+
+
+# ---------------------------------------------------------------------- #
 # Text / file round trips
 # ---------------------------------------------------------------------- #
 _KIND_SERIALISERS = {
     "instance": instance_to_dict,
     "records": records_to_dict,
     "sim-report": sim_report_to_dict,
+    "job": job_to_dict,
+    "job-result": job_result_to_dict,
+    "error": error_to_dict,
 }
 
 _KIND_DESERIALISERS = {
     "instance": instance_from_dict,
     "records": records_from_dict,
     "sim-report": sim_report_from_dict,
+    "job": job_from_dict,
+    "job-result": job_result_from_dict,
+    # An error document's payload is already plain data.
+    "error": dict,
 }
 
 
@@ -406,3 +464,23 @@ def save_sim_report(report, path: Union[str, Path]) -> None:
 def load_sim_report(path: Union[str, Path]):
     """Read a simulation report from an enveloped JSON file."""
     return load(path, "sim-report")
+
+
+def save_job(job, path: Union[str, Path]) -> None:
+    """Write a :class:`repro.api.jobs.Job` to *path* as enveloped JSON."""
+    save("job", job, path)
+
+
+def load_job(path: Union[str, Path]):
+    """Read a :class:`repro.api.jobs.Job` from an enveloped JSON file."""
+    return load(path, "job")
+
+
+def save_job_result(result, path: Union[str, Path]) -> None:
+    """Write a :class:`repro.api.jobs.JobResult` to *path* as enveloped JSON."""
+    save("job-result", result, path)
+
+
+def load_job_result(path: Union[str, Path]):
+    """Read a :class:`repro.api.jobs.JobResult` from an enveloped JSON file."""
+    return load(path, "job-result")

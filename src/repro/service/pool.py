@@ -1,64 +1,15 @@
-"""Worker-pool helper shared by the scheduling service and the grid runner.
+"""Deprecated location of the worker-pool helper.
 
-A thin, deterministic wrapper around :mod:`concurrent.futures`:
-:func:`parallel_map` preserves input order (``Executor.map`` semantics), runs
-inline when parallelism would not help, and validates the executor flavour.
-Worker functions must be module-level (picklable) when the ``"process"``
-executor is used; everything they receive and return crosses a process
-boundary as pickled plain data.
+.. deprecated::
+    The pool moved to :mod:`repro.api.pool` when the execution backends
+    (:mod:`repro.api.backends`) became the layer that owns parallel
+    execution.  This module re-exports it unchanged for backward
+    compatibility; import from :mod:`repro.api.pool` (or use an execution
+    backend) in new code.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, List, Sequence, TypeVar
+from repro.api.pool import EXECUTORS, parallel_map
 
 __all__ = ["parallel_map", "EXECUTORS"]
-
-_Item = TypeVar("_Item")
-_Result = TypeVar("_Result")
-
-#: Supported executor flavours.
-EXECUTORS = ("process", "thread")
-
-
-def parallel_map(
-    fn: Callable[[_Item], _Result],
-    items: Iterable[_Item],
-    *,
-    jobs: int = 1,
-    executor: str = "process",
-) -> List[_Result]:
-    """Apply *fn* to every item, optionally over a worker pool.
-
-    Parameters
-    ----------
-    fn:
-        The worker function.  Must be picklable (module-level) for the
-        ``"process"`` executor.
-    items:
-        The inputs, consumed eagerly.
-    jobs:
-        Number of workers.  ``jobs <= 1`` (or fewer than two items) runs
-        inline in the calling process without creating a pool.
-    executor:
-        ``"process"`` for a :class:`~concurrent.futures.ProcessPoolExecutor`
-        (true parallelism, pickling overhead) or ``"thread"`` for a
-        :class:`~concurrent.futures.ThreadPoolExecutor` (no pickling, shares
-        the GIL).
-
-    Returns
-    -------
-    list
-        The results in input order, regardless of completion order.
-    """
-    if executor not in EXECUTORS:
-        known = ", ".join(EXECUTORS)
-        raise ValueError(f"unknown executor {executor!r}; known: {known}")
-    items = list(items)
-    jobs = int(jobs)
-    if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
-    with pool_cls(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(fn, items))

@@ -1,11 +1,19 @@
 """Scheduling requests and responses of the service wire protocol.
 
+.. deprecated::
+    New code should build :class:`repro.api.jobs.Job` objects and submit
+    them through :class:`repro.api.client.Client`; requests remain as the
+    stable adapter for existing batch files and convert losslessly via
+    :attr:`ScheduleRequest.job`.
+
 A :class:`ScheduleRequest` is self-contained plain data: the instance as a
 wire payload (see :func:`repro.io.wire.instance_to_dict`), the algorithm
 variants to run, and the scheduler configuration.  Being plain data it can be
 read from a JSON batch file, shipped to a worker process, and — crucially —
-content-hashed: :attr:`ScheduleRequest.fingerprint` is the cache and
-deduplication key of the :class:`~repro.service.service.SchedulingService`.
+content-hashed: :attr:`ScheduleRequest.fingerprint` is the *canonical job
+fingerprint* (see :func:`repro.api.jobs.job_fingerprint`), shared with every
+other submission path, so identical problems deduplicate across the batch
+path, the ``solve`` path and direct client submissions alike.
 
 A :class:`ScheduleResponse` pairs the fingerprint with the produced
 :class:`~repro.experiments.runner.RunRecord` list and records whether it was
@@ -14,14 +22,14 @@ served from the cache.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.api.jobs import Job, job_fingerprint
 from repro.core.scheduler import CaWoSched
 from repro.core.variants import variant_names
 from repro.experiments.runner import RunRecord
-from repro.io.wire import canonical_json, instance_to_dict
+from repro.io.wire import instance_to_dict
 from repro.schedule.instance import ProblemInstance
 from repro.utils.errors import WireFormatError
 
@@ -137,19 +145,33 @@ class ScheduleRequest:
 
     # ------------------------------------------------------------------ #
     @property
+    def job(self) -> Job:
+        """The request as a canonical :class:`~repro.api.jobs.Job`.
+
+        Lossless: payload, variants, scheduler configuration and the live
+        instance (when present) carry over; the job's fingerprint equals
+        :attr:`fingerprint`.
+        """
+        return Job(
+            payload=dict(self.payload),
+            variants=tuple(self.variants),
+            scheduler=dict(self.scheduler),
+            live_instance=self.live_instance,
+        )
+
+    @property
     def fingerprint(self) -> str:
         """Content-hash identity of the request.
 
         Two requests with identical instance content, variants and scheduler
         configuration share a fingerprint; the service deduplicates and
-        caches on it.  SHA-256 over the canonical JSON of the request.
+        caches on it.  This is the canonical job fingerprint
+        (:func:`repro.api.jobs.job_fingerprint`): the instance's ``name``
+        and ``metadata`` labels are stripped before hashing, so
+        identically-shaped problems dedupe across *all* submission paths
+        regardless of labelling.
         """
-        body = {
-            "instance": self.payload,
-            "variants": list(self.variants),
-            "scheduler": self.scheduler,
-        }
-        return hashlib.sha256(canonical_json(body).encode("utf8")).hexdigest()
+        return job_fingerprint(self.payload, self.variants, self.scheduler)
 
     def to_dict(self) -> Dict[str, object]:
         """Return the request as plain data (inverse of :meth:`from_dict`)."""

@@ -1,67 +1,36 @@
-"""The scheduling service: batched requests, deduplication, caching, fan-out.
+"""The scheduling service: the request/response adapter over the facade.
 
-:class:`SchedulingService` is the process-level entry point of the
-subsystem: it accepts batches of :class:`~repro.service.requests.ScheduleRequest`
-objects (typically parsed from a JSON batch file), and answers each with a
-:class:`~repro.service.requests.ScheduleResponse`.  Per batch it
+.. deprecated::
+    New code should use :class:`repro.api.client.Client` with
+    :class:`repro.api.jobs.Job` directly; this service remains as the
+    stable adapter for the ``ScheduleRequest``/``ScheduleResponse`` wire
+    protocol (the CLI ``batch`` format) and produces byte-identical
+    results.
 
-1. computes every request's content-hash fingerprint,
-2. serves repeats — within the batch and across batches — from a bounded
-   LRU result cache (:class:`~repro.service.cache.ResultCache`),
-3. schedules each *unique* uncached request exactly once, either inline or
-   fanned out over a process/thread pool (``jobs=N``), and
-4. returns the responses in request order, flagged ``cached`` where no
-   scheduling work was done for them.
-
-The worker path moves only wire-format plain data across the process
-boundary: a request dictionary goes out, a list of record dictionaries comes
-back.  Workers rebuild the instance with
-:func:`repro.io.wire.instance_from_dict`, which is exact, so cached and
-freshly computed results for the same fingerprint are interchangeable.
+:class:`SchedulingService` is now a thin layer over the typed client
+facade: every request converts to a canonical :class:`~repro.api.jobs.Job`
+and goes through one :class:`~repro.api.client.Client`, which owns the
+bounded LRU result cache, fingerprint deduplication, and the pluggable
+execution backend (inline, thread pool or process pool).  Batch
+submissions (:meth:`SchedulingService.submit_batch`) and full-result
+single-variant planning (:meth:`SchedulingService.solve`) share that one
+cache, so identical single-variant work deduplicates *across* the two
+paths — the fingerprint normalisation (instance labels stripped) is the
+facade's, identical everywhere.
 """
 
 from __future__ import annotations
 
-import hashlib
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
+from repro.api.backends import make_backend
+from repro.api.cache import ResultCache
+from repro.api.client import Client
 from repro.core.scheduler import CaWoSched, ScheduleResult
-from repro.experiments.runner import RunRecord, run_instance
-from repro.io.wire import canonical_json, instance_from_dict, instance_to_dict
 from repro.schedule.instance import ProblemInstance
-from repro.service.cache import ResultCache
-from repro.service.pool import parallel_map
 from repro.service.requests import ScheduleRequest, ScheduleResponse
 
 __all__ = ["SchedulingService"]
-
-
-def _run_request(request: ScheduleRequest) -> List[RunRecord]:
-    """Schedule one request, reusing its live instance when available.
-
-    The wire round trip is exact, so results are identical whether the
-    instance comes from :attr:`ScheduleRequest.live_instance` or is rebuilt
-    from the payload.
-    """
-    instance = request.live_instance
-    if instance is None:
-        instance = instance_from_dict(request.payload)
-    scheduler = CaWoSched.from_config(request.scheduler)
-    return run_instance(instance, variants=request.variants, scheduler=scheduler)
-
-
-def _execute_request(request_data: Mapping[str, object]) -> List[Dict[str, object]]:
-    """Run one request and return its records as plain dictionaries.
-
-    Module-level so the process pool can pickle it; input and output are
-    wire-format plain data only.
-    """
-    request = ScheduleRequest(
-        payload=dict(request_data["instance"]),
-        variants=tuple(request_data["variants"]),
-        scheduler=dict(request_data["scheduler"]),
-    )
-    return [record.to_dict() for record in _run_request(request)]
 
 
 class SchedulingService:
@@ -70,7 +39,7 @@ class SchedulingService:
     Parameters
     ----------
     cache_size:
-        Bound of the LRU result cache (entries, keyed by request
+        Bound of the LRU result cache (entries, keyed by job
         fingerprint).
     jobs:
         Number of workers for fresh requests: ``1`` computes inline, ``N > 1``
@@ -95,41 +64,50 @@ class SchedulingService:
         jobs: int = 1,
         executor: str = "process",
     ) -> None:
-        self._cache: ResultCache[Tuple[RunRecord, ...]] = ResultCache(cache_size)
-        self._schedules: ResultCache[ScheduleResult] = ResultCache(cache_size)
         self.jobs = int(jobs)
         self.executor = str(executor)
-        self._computed = 0
-        self._solved = 0
+        self._client = Client(
+            backend=make_backend(self.executor, self.jobs), cache_size=cache_size
+        )
 
     # ------------------------------------------------------------------ #
     @property
+    def client(self) -> Client:
+        """The underlying client facade (cache, dedupe, backend)."""
+        return self._client
+
+    @property
     def cache(self) -> ResultCache:
-        """The underlying result cache (for inspection)."""
-        return self._cache
+        """The unified result cache (for inspection)."""
+        return self._client.cache
+
+    @property
+    def schedule_cache(self) -> ResultCache:
+        """Alias of :attr:`cache`: batch and :meth:`solve` share one cache."""
+        return self._client.cache
 
     @property
     def computed(self) -> int:
         """Number of unique requests actually scheduled (cache misses)."""
-        return self._computed
-
-    @property
-    def schedule_cache(self) -> ResultCache:
-        """The full-result cache behind :meth:`solve` (for inspection)."""
-        return self._schedules
+        return self._client.computed
 
     @property
     def solved(self) -> int:
         """Number of :meth:`solve` calls actually computed (cache misses)."""
-        return self._solved
+        return self._client.solved
 
     def stats(self) -> Dict[str, int]:
         """Return service statistics (scheduled count plus cache counters)."""
+        client_stats = self._client.stats()
         return {
-            "computed": self._computed,
-            "solved": self._solved,
-            "solve_hits": self._schedules.hits,
-            **self._cache.stats(),
+            "computed": client_stats["computed"],
+            "solved": client_stats["solved"],
+            "solve_hits": client_stats["solve_hits"],
+            "size": client_stats["size"],
+            "max_size": client_stats["max_size"],
+            "hits": client_stats["hits"],
+            "misses": client_stats["misses"],
+            "evictions": client_stats["evictions"],
         }
 
     # ------------------------------------------------------------------ #
@@ -140,38 +118,22 @@ class SchedulingService:
         *,
         scheduler: Optional[CaWoSched] = None,
     ) -> ScheduleResult:
-        """Schedule one variant on one instance, through the full-result cache.
+        """Schedule one variant on one instance, through the result cache.
 
-        Unlike the batch path (which exchanges flat :class:`RunRecord` data),
-        this returns the complete :class:`ScheduleResult` including the
-        schedule itself — what callers that *execute* schedules (the online
-        simulator, :mod:`repro.sim`) need.  Results are cached by the
-        content fingerprint of ``(problem content, variant, scheduler
-        config)``; the instance's name and metadata are deliberately *not*
-        part of the key, since the produced schedule depends only on the DAG
-        and the power profile — so repeated identical plans (e.g. a
-        rescheduling policy re-planning against an unchanged forecast
-        window) cost one cache lookup regardless of how their instances are
-        labelled.  A cached result's ``runtime_seconds`` and its schedule's
-        instance reference report the original computation.
+        Unlike the batch path (which answers with flat
+        :class:`~repro.experiments.runner.RunRecord` data), this returns the
+        complete :class:`ScheduleResult` including the schedule itself —
+        what callers that *execute* schedules (the online simulator,
+        :mod:`repro.sim`) need.  Results are cached by the canonical job
+        fingerprint of ``(problem content, variant, scheduler config)``;
+        the instance's name and metadata are *not* part of the key, so
+        repeated identical plans (e.g. a rescheduling policy re-planning
+        against an unchanged forecast window) cost one cache lookup
+        regardless of how their instances are labelled.  A cached result's
+        ``runtime_seconds`` and its schedule's instance reference report
+        the original computation.
         """
-        scheduler = scheduler or CaWoSched()
-        problem = instance_to_dict(instance)
-        problem.pop("name", None)
-        problem.pop("metadata", None)
-        body = {
-            "instance": problem,
-            "variant": str(variant),
-            "scheduler": scheduler.config_dict(),
-        }
-        fingerprint = hashlib.sha256(canonical_json(body).encode("utf8")).hexdigest()
-        cached = self._schedules.get(fingerprint)
-        if cached is not None:
-            return cached
-        result = scheduler.run(instance, variant)
-        self._schedules.put(fingerprint, result)
-        self._solved += 1
-        return result
+        return self._client.solve(instance, variant, scheduler=scheduler)
 
     def submit(self, request: ScheduleRequest) -> ScheduleResponse:
         """Serve a single request (equivalent to a one-element batch)."""
@@ -187,63 +149,12 @@ class SchedulingService:
         other occurrence is answered from the cache.  Responses come back in
         request order.
         """
-        requests = list(requests)
-        fingerprints = [request.fingerprint for request in requests]
-
-        # Which fingerprints need fresh work, keyed by first occurrence.
-        fresh: Dict[str, ScheduleRequest] = {}
-        for fingerprint, request in zip(fingerprints, requests):
-            if fingerprint not in fresh and fingerprint not in self._cache:
-                fresh[fingerprint] = request
-
-        computed_records: Dict[str, Tuple[RunRecord, ...]] = {}
-        if fresh:
-            computed = self._compute(list(fresh.values()))
-            for fingerprint, records in zip(fresh, computed):
-                computed_records[fingerprint] = tuple(records)
-                self._cache.put(fingerprint, tuple(records))
-            self._computed += len(fresh)
-
-        responses: List[ScheduleResponse] = []
-        for fingerprint, request in zip(fingerprints, requests):
-            if fingerprint in computed_records:
-                # First occurrence of a fresh request: answered from this
-                # batch's computation, not from the cache.
-                records = computed_records.pop(fingerprint)
-                cached = False
-            else:
-                records = self._cache.get(fingerprint)
-                cached = True
-                if records is None:  # pragma: no cover - cache bound < batch width
-                    # The batch contained more unique requests than the cache
-                    # can hold and this entry was already evicted; recompute.
-                    records = tuple(self._compute([request])[0])
-                    self._cache.put(fingerprint, records)
-                    self._computed += 1
-                    cached = False
-            responses.append(
-                ScheduleResponse(
-                    fingerprint=fingerprint, records=records, cached=cached
-                )
+        results = self._client.submit_many([request.job for request in requests])
+        return [
+            ScheduleResponse(
+                fingerprint=result.fingerprint,
+                records=result.records,
+                cached=result.cached,
             )
-        return responses
-
-    # ------------------------------------------------------------------ #
-    def _compute(
-        self, requests: Sequence[ScheduleRequest]
-    ) -> List[List[RunRecord]]:
-        """Schedule the given (unique) requests, possibly over the pool."""
-        if self.jobs <= 1 or len(requests) <= 1:
-            # In-process: no serialisation boundary to cross, so skip the
-            # wire round trip and reuse live instances where available.
-            return [_run_request(request) for request in requests]
-        if self.executor == "thread":
-            # Threads share the process too — hand the requests over as-is.
-            return parallel_map(
-                _run_request, requests, jobs=self.jobs, executor="thread"
-            )
-        payloads = [request.to_dict() for request in requests]
-        raw = parallel_map(
-            _execute_request, payloads, jobs=self.jobs, executor=self.executor
-        )
-        return [[RunRecord.from_dict(entry) for entry in row] for row in raw]
+            for result in results
+        ]

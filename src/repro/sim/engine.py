@@ -26,9 +26,9 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
+from repro.api.registry import DEFAULT_REGISTRY
 from repro.carbon.traces import SYNTHETIC_TRACE_PROFILES, synthetic_daily_trace
 from repro.core.scheduler import CaWoSched, ScheduleResult
-from repro.core.variants import get_variant
 from repro.schedule.cost import carbon_cost
 from repro.schedule.instance import ProblemInstance
 from repro.schedule.schedule import Schedule
@@ -113,7 +113,10 @@ class SimulationConfig:
             raise SimulationError(f"unknown trace kind {self.trace!r}; known: {known}")
         if int(self.cache_size) <= 0:
             raise SimulationError(f"cache_size must be positive, got {self.cache_size}")
-        get_variant(self.variant)  # raises on unknown variant names
+        # Raises on unknown variant names; consulting the registry (rather
+        # than the built-in variant table) lets simulations plan with
+        # registered third-party algorithms too.
+        DEFAULT_REGISTRY.get(self.variant)
         # Arrival, policy, signal and workload parameters are validated by
         # building each component once; bare range errors from the validators
         # are normalised to SimulationError so every bad configuration fails
@@ -247,6 +250,9 @@ class Simulator:
         self._workload = config.workload()
         self._scheduler = config.scheduler()
         self._service = service or SchedulingService(cache_size=config.cache_size)
+        # All planning goes through the typed client facade underneath the
+        # service (one cache across every submission path).
+        self._client = self._service.client
         cluster = cluster_for(config.cluster)
         trace = synthetic_daily_trace(
             config.trace,
@@ -319,10 +325,10 @@ class Simulator:
         )
 
     def _plan(self, job: SimJob, now: int) -> ScheduleResult:
-        """Plan *job* from *now* against the forecast, through the service."""
+        """Plan *job* from *now* against the forecast, through the facade."""
         length = self._window_length(job, now)
         instance = self._instance(job, self._forecast.profile(now, length))
-        return self._service.solve(instance, self.config.variant, scheduler=self._scheduler)
+        return self._client.solve(instance, self.config.variant, scheduler=self._scheduler)
 
     def _oracle_cost(self, job: SimJob) -> int:
         """Carbon cost of the clairvoyant offline schedule (planned at arrival).
@@ -332,7 +338,7 @@ class Simulator:
         """
         length = self._window_length(job, job.arrival)
         instance = self._instance(job, self._signal.window(job.arrival, length))
-        result = self._service.solve(
+        result = self._client.solve(
             instance, self.config.variant, scheduler=self._scheduler
         )
         return result.carbon_cost

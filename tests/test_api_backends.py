@@ -1,0 +1,112 @@
+"""Tests for the execution backends (:mod:`repro.api.backends`)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api import (
+    ExecutionBackend,
+    InlineBackend,
+    Job,
+    ProcessBackend,
+    ThreadBackend,
+    make_backend,
+)
+from repro.experiments.instances import InstanceSpec, make_instance
+
+VARIANTS = ("ASAP", "pressWR-LS")
+
+
+def _jobs():
+    specs = [
+        InstanceSpec("bacass", 12, "small", "S1", 1.5, seed=3),
+        InstanceSpec("chain", 8, "single", "S4", 2.0, seed=3),
+    ]
+    return [Job.from_spec(spec, variants=VARIANTS, master_seed=7) for spec in specs]
+
+
+def _strip_runtimes(records):
+    return [dataclasses.replace(r, runtime_seconds=0.0) for r in records]
+
+
+class TestProtocol:
+    @pytest.mark.parametrize(
+        "backend", [InlineBackend(), ThreadBackend(2), ProcessBackend(2)]
+    )
+    def test_implementations_satisfy_protocol(self, backend):
+        assert isinstance(backend, ExecutionBackend)
+
+    def test_submit_returns_tickets_and_stats_track_progress(self):
+        backend = InlineBackend()
+        jobs = _jobs()
+        assert [backend.submit(job) for job in jobs] == [0, 1]
+        assert backend.stats()["pending"] == 2
+        outcomes = backend.gather()
+        assert len(outcomes) == 2
+        stats = backend.stats()
+        assert stats["submitted"] == 2
+        assert stats["completed"] == 2
+        assert stats["pending"] == 0
+        assert stats["backend"] == "inline"
+
+    def test_gather_clears_the_queue(self):
+        backend = InlineBackend()
+        backend.submit(_jobs()[0])
+        backend.gather()
+        assert backend.gather() == []
+
+
+class TestExecutionEquivalence:
+    @pytest.fixture(scope="class")
+    def inline_outcomes(self):
+        backend = InlineBackend()
+        for job in _jobs():
+            backend.submit(job)
+        return backend.gather()
+
+    @pytest.mark.parametrize("factory", [lambda: ThreadBackend(2), lambda: ProcessBackend(2)])
+    def test_pool_backends_match_inline_records(self, inline_outcomes, factory):
+        backend = factory()
+        for job in _jobs():
+            backend.submit(job)
+        outcomes = backend.gather()
+        for inline, pooled in zip(inline_outcomes, outcomes):
+            assert _strip_runtimes(pooled.records) == _strip_runtimes(inline.records)
+
+    def test_in_process_backends_retain_full_results(self, inline_outcomes):
+        assert inline_outcomes[0].results is not None
+        assert [r.variant for r in inline_outcomes[0].results] == list(VARIANTS)
+
+    def test_process_backend_ships_records_only(self):
+        backend = ProcessBackend(2)
+        for job in _jobs():
+            backend.submit(job)
+        outcomes = backend.gather()
+        assert all(outcome.results is None for outcome in outcomes)
+        assert backend.returns_results is False
+
+
+class TestMakeBackend:
+    def test_single_worker_collapses_to_inline(self):
+        assert make_backend("process", 1).name == "inline"
+        assert make_backend("thread", 0).name == "inline"
+
+    def test_pool_flavours(self):
+        assert make_backend("thread", 3).name == "thread"
+        assert make_backend("process", 3).name == "process"
+        assert make_backend("thread", 3).workers == 3
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_backend("fiber", 2)
+
+
+class TestLiveInstanceReuse:
+    def test_inline_reuses_live_instance(self):
+        instance = make_instance(InstanceSpec("chain", 6, "single", "S4", 2.0, seed=0))
+        backend = InlineBackend()
+        backend.submit(Job.from_instance(instance, variants=("ASAP",)))
+        outcome = backend.gather()[0]
+        assert outcome.results[0].schedule.instance is instance

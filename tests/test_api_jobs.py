@@ -1,0 +1,158 @@
+"""Tests for the typed job model (:mod:`repro.api.jobs`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import InvalidJob, Job, JobResult, job_fingerprint
+from repro.core.scheduler import CaWoSched
+from repro.core.variants import variant_names
+from repro.experiments.instances import InstanceSpec, make_instance
+from repro.io.wire import instance_to_dict, loads, dumps
+from repro.schedule.instance import ProblemInstance
+
+VARIANTS = ("ASAP", "pressWR-LS")
+
+
+@pytest.fixture
+def grid_instance():
+    return make_instance(InstanceSpec("bacass", 15, "small", "S1", 1.5, seed=1))
+
+
+class TestJobConstruction:
+    def test_from_instance_defaults_to_all_variants(self, grid_instance):
+        job = Job.from_instance(grid_instance)
+        assert job.variants == tuple(variant_names())
+        assert job.live_instance is grid_instance
+        assert job.payload == instance_to_dict(grid_instance)
+
+    def test_from_spec_is_lazy_but_validated(self):
+        job = Job.from_spec(
+            {"family": "chain", "tasks": 6, "cluster": "single"},
+            variants=("ASAP",),
+        )
+        assert job.payload is None
+        assert job.spec["family"] == "chain"
+        assert job.instance().num_tasks >= 1
+
+    def test_from_spec_rejects_malformed_fields(self):
+        with pytest.raises(InvalidJob, match="malformed job spec"):
+            Job.from_spec({"family": "chain", "tasks": "many"})
+
+    def test_from_dict_requires_exactly_one_source(self):
+        with pytest.raises(InvalidJob, match="'instance' payload or a 'spec'"):
+            Job.from_dict({"variants": ["ASAP"]})
+        with pytest.raises(InvalidJob, match="'instance' payload or a 'spec'"):
+            Job.from_dict(
+                {"instance": {}, "spec": {"family": "chain", "tasks": 4}}
+            )
+
+    def test_from_dict_rejects_malformed_scheduler(self, grid_instance):
+        with pytest.raises(InvalidJob, match="malformed scheduler config"):
+            Job.from_dict(
+                {
+                    "instance": instance_to_dict(grid_instance),
+                    "scheduler": {"block_size": "huge"},
+                }
+            )
+
+    def test_validate_rejects_empty_variants(self, grid_instance):
+        job = Job(payload=instance_to_dict(grid_instance), variants=())
+        with pytest.raises(InvalidJob, match="at least one"):
+            job.validate()
+
+    def test_dict_round_trip(self, grid_instance):
+        job = Job.from_instance(
+            grid_instance, variants=VARIANTS, priority=3, tags=("urgent",)
+        )
+        clone = Job.from_dict(job.to_dict())
+        assert clone.fingerprint == job.fingerprint
+        assert clone.priority == 3
+        assert clone.tags == ("urgent",)
+        assert clone.live_instance is None
+
+    def test_spec_job_dict_round_trip_ships_the_spec(self):
+        job = Job.from_spec(
+            InstanceSpec("chain", 6, "single", "S4", 2.0, seed=2),
+            variants=("ASAP",),
+            master_seed=7,
+        )
+        data = job.to_dict()
+        assert "spec" in data and "instance" not in data
+        assert data["master_seed"] == 7
+        clone = Job.from_dict(data)
+        assert clone.fingerprint == job.fingerprint
+
+
+class TestJobFingerprint:
+    def test_identical_content_identical_fingerprint(self, grid_instance):
+        twin = make_instance(InstanceSpec("bacass", 15, "small", "S1", 1.5, seed=1))
+        first = Job.from_instance(grid_instance, variants=VARIANTS)
+        second = Job.from_instance(twin, variants=VARIANTS)
+        assert first.fingerprint == second.fingerprint
+
+    def test_fingerprint_ignores_instance_labels(self, grid_instance):
+        relabelled = ProblemInstance(
+            grid_instance.dag,
+            grid_instance.profile,
+            name="other-label",
+            metadata={"note": "different"},
+        )
+        first = Job.from_instance(grid_instance, variants=VARIANTS)
+        second = Job.from_instance(relabelled, variants=VARIANTS)
+        assert first.fingerprint == second.fingerprint
+
+    def test_fingerprint_ignores_priority_and_tags(self, grid_instance):
+        plain = Job.from_instance(grid_instance, variants=VARIANTS)
+        routed = Job.from_instance(
+            grid_instance, variants=VARIANTS, priority=9, tags=("a", "b")
+        )
+        assert plain.fingerprint == routed.fingerprint
+
+    def test_fingerprint_depends_on_variants_and_scheduler(self, grid_instance):
+        base = Job.from_instance(grid_instance, variants=("ASAP",))
+        other = Job.from_instance(grid_instance, variants=("slack",))
+        tuned = Job.from_instance(
+            grid_instance, variants=("ASAP",), scheduler=CaWoSched(window=5)
+        )
+        assert len({base.fingerprint, other.fingerprint, tuned.fingerprint}) == 3
+
+    def test_spec_job_fingerprint_matches_inline_job(self, grid_instance):
+        spec_job = Job.from_spec(
+            InstanceSpec("bacass", 15, "small", "S1", 1.5, seed=1),
+            variants=VARIANTS,
+        )
+        inline_job = Job.from_instance(grid_instance, variants=VARIANTS)
+        assert spec_job.fingerprint == inline_job.fingerprint
+
+    def test_module_level_helper_matches_property(self, grid_instance):
+        job = Job.from_instance(grid_instance, variants=VARIANTS)
+        assert job.fingerprint == job_fingerprint(
+            job.payload, job.variants, job.scheduler
+        )
+
+
+class TestWireKinds:
+    def test_job_wire_round_trip(self, grid_instance):
+        job = Job.from_instance(grid_instance, variants=VARIANTS)
+        clone = loads(dumps("job", job), "job")
+        assert isinstance(clone, Job)
+        assert clone.fingerprint == job.fingerprint
+
+    def test_job_result_wire_round_trip(self, grid_instance):
+        from repro.api import Client
+
+        result = Client().submit(Job.from_instance(grid_instance, variants=VARIANTS))
+        clone = loads(dumps("job-result", result), "job-result")
+        assert isinstance(clone, JobResult)
+        assert clone.fingerprint == result.fingerprint
+        assert clone.records == result.records
+        assert clone.results is None  # schedules never cross the wire here
+
+    def test_error_wire_document(self):
+        from repro.api import UnknownVariant
+
+        document = loads(dumps("error", UnknownVariant("nope")), "error")
+        assert document["code"] == "unknown-variant"
+        assert document["exit_code"] == 3
+        assert "nope" in document["message"]

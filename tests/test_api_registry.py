@@ -1,0 +1,132 @@
+"""Tests for the algorithm registry (:mod:`repro.api.registry`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    AlgorithmCapabilities,
+    AlgorithmRegistry,
+    Client,
+    DEFAULT_REGISTRY,
+    Job,
+    UnknownVariant,
+)
+from repro.core.variants import ALL_VARIANTS, variant_names
+from repro.experiments.instances import InstanceSpec, make_instance
+from repro.schedule.asap import asap_schedule
+
+
+@pytest.fixture
+def grid_instance():
+    return make_instance(InstanceSpec("bacass", 12, "small", "S1", 1.5, seed=1))
+
+
+CUSTOM_CAPS = AlgorithmCapabilities(
+    phases=("baseline",),
+    score=None,
+    weighted=False,
+    refined=False,
+    supports_deadline=False,
+    cost_model="makespan",
+)
+
+
+def asap_clone(instance, scheduler):
+    """A registerable third-party algorithm (ASAP under another name)."""
+    return asap_schedule(instance)
+
+
+class TestBuiltinEntries:
+    def test_all_builtin_variants_registered_in_order(self):
+        assert DEFAULT_REGISTRY.names()[: len(variant_names())] == variant_names()
+        assert set(variant_names()) <= set(DEFAULT_REGISTRY)
+
+    def test_capabilities_mirror_variant_specs(self):
+        for name, spec in ALL_VARIANTS.items():
+            caps = DEFAULT_REGISTRY.capabilities(name)
+            assert caps.score == spec.base
+            assert caps.weighted == spec.weighted
+            assert caps.refined == spec.refined
+            assert ("local-search" in caps.phases) == spec.local_search
+            assert ("baseline" in caps.phases) == spec.is_baseline
+
+    def test_baseline_capabilities(self):
+        caps = DEFAULT_REGISTRY.capabilities("ASAP")
+        assert caps.phases == ("baseline",)
+        assert caps.supports_deadline is False
+        assert caps.cost_model == "makespan"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownVariant, match="unknown algorithm variant"):
+            DEFAULT_REGISTRY.get("NOPE")
+
+    def test_run_matches_direct_scheduler(self, grid_instance):
+        from repro.core.scheduler import CaWoSched
+
+        direct = CaWoSched().run(grid_instance, "pressWR")
+        via_registry = DEFAULT_REGISTRY.run(grid_instance, "pressWR")
+        assert via_registry.carbon_cost == direct.carbon_cost
+        assert via_registry.schedule.same_start_times(direct.schedule)
+
+    def test_capabilities_dict_round_trip(self):
+        caps = DEFAULT_REGISTRY.capabilities("slackWR-LS")
+        assert AlgorithmCapabilities.from_dict(caps.to_dict()) == caps
+
+    def test_describe_matches_registry_contents(self):
+        listing = DEFAULT_REGISTRY.describe()
+        assert [entry["name"] for entry in listing] == DEFAULT_REGISTRY.names()
+        for entry in listing:
+            caps = DEFAULT_REGISTRY.capabilities(entry["name"])
+            assert entry["phases"] == list(caps.phases)
+            assert entry["supports_deadline"] == caps.supports_deadline
+            assert entry["cost_model"] == caps.cost_model
+
+
+class TestThirdPartyRegistration:
+    def test_register_and_run_through_client(self, grid_instance):
+        registry = AlgorithmRegistry()
+        registry.register("asap-clone", asap_clone, capabilities=CUSTOM_CAPS)
+        client = Client(registry=registry)
+        result = client.submit(
+            Job.from_instance(grid_instance, variants=("ASAP", "asap-clone"))
+        )
+        by_variant = {r.variant: r.carbon_cost for r in result.records}
+        assert by_variant["asap-clone"] == by_variant["ASAP"]
+        assert client.solve(grid_instance, "asap-clone").makespan > 0
+
+    def test_registered_entry_is_listed_after_builtins(self):
+        registry = AlgorithmRegistry()
+        registry.register("my-algo", asap_clone, capabilities=CUSTOM_CAPS)
+        assert registry.names()[-1] == "my-algo"
+        assert registry.describe()[-1]["builtin"] is False
+
+    def test_duplicate_name_needs_replace(self):
+        registry = AlgorithmRegistry()
+        registry.register("my-algo", asap_clone, capabilities=CUSTOM_CAPS)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("my-algo", asap_clone, capabilities=CUSTOM_CAPS)
+        registry.register("my-algo", asap_clone, capabilities=CUSTOM_CAPS, replace=True)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            AlgorithmRegistry().register("", asap_clone, capabilities=CUSTOM_CAPS)
+
+    def test_client_rejects_variants_missing_from_its_registry(self, grid_instance):
+        client = Client(registry=AlgorithmRegistry())
+        with pytest.raises(UnknownVariant):
+            client.submit(Job.from_instance(grid_instance, variants=("nope",)))
+
+    def test_third_party_results_are_validated(self, grid_instance):
+        from repro.utils.errors import InvalidScheduleError
+
+        def broken(instance, scheduler):
+            schedule = asap_schedule(instance)
+            # Shift every start past the deadline to provoke validation.
+            starts = {node: instance.deadline + 1 for node in instance.dag.nodes()}
+            return type(schedule)(instance, starts, algorithm="broken")
+
+        registry = AlgorithmRegistry()
+        registry.register("broken", broken, capabilities=CUSTOM_CAPS)
+        with pytest.raises(InvalidScheduleError):
+            registry.run(grid_instance, "broken")

@@ -55,6 +55,16 @@ class TestScheduleCommand:
         assert code == 0
         assert "slack" in capsys.readouterr().out
 
+    def test_schedule_unknown_variant_exit_code(self, capsys):
+        code = main([
+            "schedule", "--family", "chain", "--tasks", "6", "--cluster", "single",
+            "--variants", "NOPE",
+        ])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "unknown-variant" in err
+        assert "unknown algorithm variant" in err
+
 
 class TestGridCommand:
     def test_grid_prints_summaries(self, capsys):
@@ -185,12 +195,15 @@ class TestBatchCommand:
         assert "'instance' payload or a 'spec'" in capsys.readouterr().err
 
     def test_batch_malformed_inline_instance_errors(self, capsys, tmp_path):
+        # A malformed payload is only discovered at execution time, so it
+        # surfaces as a backend failure with the facade's exit code 4.
         path = self._requests_file(
             tmp_path, [{"instance": {"bogus": 1}, "variants": ["ASAP"]}]
         )
-        with pytest.raises(SystemExit):
-            main(["batch", str(path)])
-        assert "missing field" in capsys.readouterr().err
+        assert main(["batch", str(path)]) == 4
+        err = capsys.readouterr().err
+        assert "backend-failure" in err
+        assert "missing field" in err
 
     def test_batch_non_numeric_spec_field_errors(self, capsys, tmp_path):
         path = self._requests_file(
@@ -198,7 +211,15 @@ class TestBatchCommand:
         )
         with pytest.raises(SystemExit):
             main(["batch", str(path)])
-        assert "malformed request spec" in capsys.readouterr().err
+        assert "malformed job spec" in capsys.readouterr().err
+
+    def test_batch_unknown_variant_exit_code(self, capsys, tmp_path):
+        path = self._requests_file(tmp_path, [
+            {"spec": {"family": "chain", "tasks": 6, "cluster": "single"},
+             "variants": ["NOPE"]},
+        ])
+        assert main(["batch", str(path)]) == 3
+        assert "unknown algorithm variant" in capsys.readouterr().err
 
     def test_batch_rejects_nonpositive_cache_size(self, capsys, tmp_path):
         path = self._requests_file(tmp_path, [

@@ -95,10 +95,30 @@ class TestVariantsJson:
             "refined": True,
             "local_search": True,
             "baseline": False,
+            "phases": ["greedy", "local-search"],
+            "supports_deadline": True,
+            "cost_model": "carbon",
+            "builtin": True,
         }
         assert by_name["slack"]["local_search"] is False
+        assert by_name["slack"]["phases"] == ["greedy"]
+        assert by_name["ASAP"]["phases"] == ["baseline"]
+        assert by_name["ASAP"]["supports_deadline"] is False
+        assert by_name["ASAP"]["cost_model"] == "makespan"
 
     def test_plain_listing_unchanged(self, capsys):
         assert run_cli("variants") == 0
         lines = capsys.readouterr().out.strip().splitlines()
         assert lines == variant_names()
+
+    def test_json_listing_round_trips_the_registry(self, capsys):
+        # The machine-readable listing is exactly the registry's capability
+        # metadata: parsing it back yields DEFAULT_REGISTRY.describe().
+        from repro.api import DEFAULT_REGISTRY, AlgorithmCapabilities
+
+        assert run_cli("variants", "--json") == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert listing == DEFAULT_REGISTRY.describe()
+        for entry in listing:
+            caps = AlgorithmCapabilities.from_dict(entry)
+            assert caps == DEFAULT_REGISTRY.capabilities(entry["name"])

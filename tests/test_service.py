@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-import repro.service.service as service_module
+import repro.api.execute as execute_module
 from repro.experiments.instances import InstanceSpec, make_instance
 from repro.io.wire import instance_to_dict
 from repro.service import (
@@ -147,20 +147,20 @@ class TestScheduleRequest:
 
 class TestSchedulingService:
     def _counting(self, monkeypatch):
-        """Count scheduler invocations through the per-request worker.
+        """Count scheduler invocations through the per-job execution core.
 
-        ``_run_request`` sits on both execution paths (inline and via the
-        pool's ``_execute_request``), so patching it counts every request
-        that is actually scheduled.
+        ``execute_job`` sits on every in-process execution path (the inline
+        and thread backends the service's client runs on), so patching it
+        counts every job that is actually scheduled.
         """
         calls = []
-        original = service_module._run_request
+        original = execute_module.execute_job
 
-        def wrapper(request):
-            calls.append(request)
-            return original(request)
+        def wrapper(job, **kwargs):
+            calls.append(job)
+            return original(job, **kwargs)
 
-        monkeypatch.setattr(service_module, "_run_request", wrapper)
+        monkeypatch.setattr(execute_module, "execute_job", wrapper)
         return calls
 
     def test_duplicates_scheduled_once(self, grid_instance, monkeypatch):
