@@ -13,7 +13,7 @@ from repro.experiments.figures import figure8_running_times
 from repro.experiments.instances import InstanceSpec, make_instance
 from repro.experiments.reporting import format_table
 
-from bench_utils import write_figure_output
+from bench_utils import write_bench_json, write_figure_output
 
 
 def test_fig8_running_times(grid_records, benchmark, output_dir):
@@ -28,6 +28,18 @@ def test_fig8_running_times(grid_records, benchmark, output_dir):
     )
     print("\nFigure 8 — running time per algorithm variant (milliseconds)\n" + text)
     write_figure_output(output_dir, "fig8_running_times", text)
+    write_bench_json(
+        output_dir,
+        "fig8",
+        {
+            name: {
+                "median_ms": round(values["median"] * 1e3, 4),
+                "mean_ms": round(values["mean"] * 1e3, 4),
+                "runs": values["count"],
+            }
+            for name, values in stats.items()
+        },
+    )
 
     # Time a representative pressWR-LS scheduling call end to end.
     instance = make_instance(

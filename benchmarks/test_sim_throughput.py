@@ -15,7 +15,7 @@ import time
 from repro.experiments.reporting import format_table
 from repro.sim import SimulationConfig, simulate
 
-from bench_utils import write_figure_output
+from bench_utils import write_bench_json, write_figure_output
 
 ARRIVALS = 1000
 
@@ -63,6 +63,23 @@ def test_sim_throughput(benchmark, output_dir):
     text = format_table(rows, ["quantity", "value"])
     print("\nOnline simulator throughput (1k arrivals)\n" + text)
     write_figure_output(output_dir, "sim_throughput", text)
+    write_bench_json(
+        output_dir,
+        "sim_throughput",
+        {
+            "sim": {
+                "median_ms": round(elapsed * 1e3, 3),
+                "mean_ms": round(elapsed * 1e3, 3),
+                "runs": 1,
+            }
+        },
+        extra={
+            "arrivals": num_jobs,
+            "events": num_events,
+            "arrivals_per_s": round(num_jobs / elapsed, 1),
+            "events_per_s": round(num_events / elapsed, 1),
+        },
+    )
 
     # Shape checks: the full stream completed and the engine sustains a
     # usable event rate on laptop hardware.

@@ -27,6 +27,7 @@ schedules themselves.
 from __future__ import annotations
 
 import hashlib
+import weakref
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -37,10 +38,52 @@ from repro.experiments.runner import RunRecord
 from repro.io.wire import canonical_json, instance_from_dict, instance_to_dict
 from repro.schedule.instance import ProblemInstance
 
-__all__ = ["Job", "JobResult", "job_fingerprint"]
+__all__ = ["Job", "JobResult", "job_fingerprint", "shared_instance_payload"]
 
 #: Keys of a normalised grid-cell spec (see :class:`repro.experiments.instances.InstanceSpec`).
 _SPEC_KEYS = ("family", "tasks", "cluster", "scenario", "deadline_factor", "seed")
+
+
+class _InstanceArtifacts:
+    """Wire payload and fingerprints derived from one live instance."""
+
+    __slots__ = ("ref", "payload", "fingerprints")
+
+
+_ARTIFACTS: Dict[int, _InstanceArtifacts] = {}
+
+
+def _instance_artifacts(instance: ProblemInstance) -> _InstanceArtifacts:
+    """Return the cached derived artifacts of a live *instance*.
+
+    Serialising an instance (and hashing the result) costs a sizable share
+    of a facade submission now that the schedulers themselves are fast, yet
+    both are pure functions of the instance.  The cache is keyed by object
+    identity and evicted via a weak reference when the instance is
+    collected; the shared payload dict must therefore be treated as
+    read-only by all consumers (they already copy before mutating).
+    """
+    key = id(instance)
+    entry = _ARTIFACTS.get(key)
+    if entry is not None and entry.ref() is instance:
+        return entry
+    entry = _InstanceArtifacts()
+    entry.payload = instance_to_dict(instance)
+    entry.fingerprints = {}
+    entry.ref = weakref.ref(instance, lambda _ref, key=key: _ARTIFACTS.pop(key, None))
+    _ARTIFACTS[key] = entry
+    return entry
+
+
+def shared_instance_payload(instance: ProblemInstance) -> Dict[str, object]:
+    """Return *instance* as a wire payload, cached per live instance.
+
+    The returned dict is shared between every job/request built from the
+    same instance object (which also lets their fingerprints share one
+    canonicalisation + hash) — treat it as read-only and copy before
+    mutating.
+    """
+    return _instance_artifacts(instance).payload
 
 
 def job_fingerprint(
@@ -156,7 +199,7 @@ class Job:
         scheduler = scheduler or CaWoSched()
         names = tuple(variants) if variants is not None else tuple(variant_names())
         return cls(
-            payload=instance_to_dict(instance),
+            payload=shared_instance_payload(instance),
             variants=names,
             scheduler=scheduler.config_dict(),
             priority=int(priority),
@@ -313,7 +356,22 @@ class Job:
         """
         cached = getattr(self, "_fingerprint", None)
         if cached is None:
-            cached = job_fingerprint(self.problem_payload(), self.variants, self.scheduler)
+            live = self.live_instance
+            if live is not None and self.payload is not None:
+                # Jobs built from the same live instance share the payload
+                # dict, so the expensive canonicalisation + hash can be
+                # shared across submissions too.
+                artifacts = _instance_artifacts(live)
+                if artifacts.payload is self.payload:
+                    key = (self.variants, tuple(sorted(self.scheduler.items())))
+                    cached = artifacts.fingerprints.get(key)
+                    if cached is None:
+                        cached = job_fingerprint(self.payload, self.variants, self.scheduler)
+                        artifacts.fingerprints[key] = cached
+            if cached is None:
+                cached = job_fingerprint(
+                    self.problem_payload(), self.variants, self.scheduler
+                )
             object.__setattr__(self, "_fingerprint", cached)
         return cached
 

@@ -4,9 +4,16 @@ The greedy CaWoSched variants fix one task at a time.  After every fixing, the
 earliest start times (EST) of downstream tasks and the latest start times
 (LST) of upstream tasks may tighten; the paper updates them over the whole
 graph using a precomputed topological order (§5.2, "These updates take
-``O(n + |Ec|)`` time").  :class:`EstLstTracker` provides exactly that: it
-recomputes the EST/LST arrays in one forward and one backward sweep per
-update, treating already-fixed tasks as pinned to their chosen start time.
+``O(n + |Ec|)`` time").  :class:`EstLstTracker` improves on that: fixing a
+task at ``start`` can only *raise* ESTs downstream and *lower* LSTs upstream,
+so the tracker propagates the change outward from the fixed task along the
+topological order and stops as soon as values stop changing.  Most fixes
+touch a small neighbourhood, which turns the greedy phase's quadratic
+bookkeeping into near-linear work; the full two-sweep recompute is kept as
+the scalar reference (forced via ``REPRO_SCALAR_KERNELS``) and both paths
+produce identical EST/LST maps.  Internally all bookkeeping is positional
+(lists indexed by topological rank, adjacency as index/duration pairs), so
+the propagation loop touches no hashing at all.
 
 Fixing a task at a start time within its current ``[EST, LST]`` window always
 keeps the remaining problem feasible: the constraints form a system of
@@ -17,10 +24,12 @@ exactly the ``[EST, LST]`` intervals.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional
+import heapq
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.mapping.enhanced_dag import EnhancedDAG
 from repro.utils.errors import InfeasibleScheduleError
+from repro.utils.kernels import scalar_kernels_enabled
 
 __all__ = ["EstLstTracker"]
 
@@ -34,6 +43,11 @@ class EstLstTracker:
         The communication-enhanced DAG.
     deadline:
         The deadline ``T``.
+    incremental:
+        Whether :meth:`fix` propagates changes outward from the fixed task
+        instead of recomputing both sweeps from scratch.  ``None`` (default)
+        uses the incremental kernel unless ``REPRO_SCALAR_KERNELS`` forces
+        the scalar reference; both paths yield identical values.
 
     Raises
     ------
@@ -41,13 +55,36 @@ class EstLstTracker:
         If the deadline cannot be met even without fixing any task.
     """
 
-    def __init__(self, dag: EnhancedDAG, deadline: int) -> None:
+    def __init__(
+        self, dag: EnhancedDAG, deadline: int, *, incremental: Optional[bool] = None
+    ) -> None:
         self._dag = dag
         self._deadline = int(deadline)
         self._order = dag.topological_order()
+        self._position: Dict[Hashable, int] = {
+            node: index for index, node in enumerate(self._order)
+        }
+        position = self._position
+        duration_map = dag.duration_map()
+        pred_map = dag.predecessor_map()
+        succ_map = dag.successor_map()
+        self._duration: List[int] = [duration_map[node] for node in self._order]
+        # Predecessors are always read together with their duration (the
+        # finish-time bound), so the pair is fused into the adjacency row.
+        self._preds: List[List[Tuple[int, int]]] = [
+            [(position[pred], duration_map[pred]) for pred in pred_map[node]]
+            for node in self._order
+        ]
+        self._succs: List[List[int]] = [
+            [position[succ] for succ in succ_map[node]] for node in self._order
+        ]
+        if incremental is None:
+            incremental = not scalar_kernels_enabled()
+        self._incremental = bool(incremental)
         self._fixed: Dict[Hashable, int] = {}
-        self._est: Dict[Hashable, int] = {}
-        self._lst: Dict[Hashable, int] = {}
+        self._is_fixed: List[bool] = [False] * len(self._order)
+        self._est: List[int] = []
+        self._lst: List[int] = []
         self._recompute()
 
     # ------------------------------------------------------------------ #
@@ -58,23 +95,24 @@ class EstLstTracker:
 
     def est(self, node: Hashable) -> int:
         """Return the current earliest start time of *node*."""
-        return self._est[node]
+        return self._est[self._position[node]]
 
     def lst(self, node: Hashable) -> int:
         """Return the current latest start time of *node*."""
-        return self._lst[node]
+        return self._lst[self._position[node]]
 
     def slack(self, node: Hashable) -> int:
         """Return the current slack ``LST − EST`` of *node*."""
-        return self._lst[node] - self._est[node]
+        index = self._position[node]
+        return self._lst[index] - self._est[index]
 
     def est_map(self) -> Dict[Hashable, int]:
         """Return a copy of the current EST values."""
-        return dict(self._est)
+        return dict(zip(self._order, self._est))
 
     def lst_map(self) -> Dict[Hashable, int]:
         """Return a copy of the current LST values."""
-        return dict(self._lst)
+        return dict(zip(self._order, self._lst))
 
     def is_fixed(self, node: Hashable) -> bool:
         """Return whether *node* already has a fixed start time."""
@@ -101,41 +139,135 @@ class EstLstTracker:
         start = int(start)
         if node in self._fixed:
             raise InfeasibleScheduleError(f"task {node!r} is already fixed")
-        if not self._est[node] <= start <= self._lst[node]:
+        index = self._position[node]
+        if not self._est[index] <= start <= self._lst[index]:
             raise InfeasibleScheduleError(
                 f"cannot fix task {node!r} at {start}: outside its window "
-                f"[{self._est[node]}, {self._lst[node]}]"
+                f"[{self._est[index]}, {self._lst[index]}]"
             )
         self._fixed[node] = start
-        self._recompute()
+        self._is_fixed[index] = True
+        if self._incremental:
+            self._propagate_fix(index, start)
+        else:
+            self._recompute()
 
     # ------------------------------------------------------------------ #
+    def _propagate_fix(self, index: int, start: int) -> None:
+        """Push the EST/LST consequences of fixing the task at *index* outward.
+
+        ESTs are non-decreasing and LSTs non-increasing under a fix inside the
+        node's window, so a worklist ordered by topological rank revisits each
+        affected task after its relevant neighbours are final and stops where
+        values no longer change.
+        """
+        est, lst = self._est, self._lst
+        is_fixed = self._is_fixed
+        duration, preds, succs = self._duration, self._preds, self._succs
+
+        forward: List[int] = []
+        if est[index] != start:
+            # The fix raised the node's EST, so downstream ESTs may rise too;
+            # an unchanged EST leaves every successor's input untouched.
+            est[index] = start
+            forward = list(succs[index])
+            heapq.heapify(forward)
+        queued = set(forward)
+        while forward:
+            current = heapq.heappop(forward)
+            queued.discard(current)
+            if is_fixed[current]:
+                continue
+            value = 0
+            for pred, pred_duration in preds[current]:
+                finish = est[pred] + pred_duration
+                if finish > value:
+                    value = finish
+            if value == est[current]:
+                continue
+            est[current] = value
+            if value > lst[current]:
+                raise InfeasibleScheduleError(
+                    f"task {self._order[current]!r} has an empty scheduling window "
+                    f"[{value}, {lst[current]}] for deadline {self._deadline}"
+                )
+            for succ in succs[current]:
+                if succ not in queued:
+                    queued.add(succ)
+                    heapq.heappush(forward, succ)
+
+        backward: List[int] = []
+        if lst[index] != start:
+            lst[index] = start
+            backward = [-pred for pred, _ in preds[index]]
+            heapq.heapify(backward)
+        queued = set(backward)
+        while backward:
+            negative = heapq.heappop(backward)
+            queued.discard(negative)
+            current = -negative
+            if is_fixed[current]:
+                continue
+            successors = succs[current]
+            if successors:
+                bound = lst[successors[0]]
+                for succ in successors[1:]:
+                    if lst[succ] < bound:
+                        bound = lst[succ]
+                value = bound - duration[current]
+            else:
+                value = self._deadline - duration[current]
+            if value == lst[current]:
+                continue
+            lst[current] = value
+            if value < est[current]:
+                raise InfeasibleScheduleError(
+                    f"task {self._order[current]!r} has an empty scheduling window "
+                    f"[{est[current]}, {value}] for deadline {self._deadline}"
+                )
+            for pred, _ in preds[current]:
+                if -pred not in queued:
+                    queued.add(-pred)
+                    heapq.heappush(backward, -pred)
+
     def _recompute(self) -> None:
         """Recompute EST and LST with the fixed tasks pinned (two sweeps)."""
-        dag = self._dag
-        est: Dict[Hashable, int] = {}
-        for node in self._order:
-            if node in self._fixed:
-                est[node] = self._fixed[node]
+        num_nodes = len(self._order)
+        duration, preds, succs = self._duration, self._preds, self._succs
+        is_fixed = self._is_fixed
+        fixed_value = [
+            self._fixed[node] if is_fixed[index] else 0
+            for index, node in enumerate(self._order)
+        ]
+        est: List[int] = [0] * num_nodes
+        for index in range(num_nodes):
+            if is_fixed[index]:
+                est[index] = fixed_value[index]
                 continue
-            est[node] = max(
-                (est[pred] + dag.duration(pred) for pred in dag.predecessors(node)),
-                default=0,
-            )
-        lst: Dict[Hashable, int] = {}
-        for node in reversed(self._order):
-            if node in self._fixed:
-                lst[node] = self._fixed[node]
+            value = 0
+            for pred, pred_duration in preds[index]:
+                finish = est[pred] + pred_duration
+                if finish > value:
+                    value = finish
+            est[index] = value
+        lst: List[int] = [0] * num_nodes
+        for index in range(num_nodes - 1, -1, -1):
+            if is_fixed[index]:
+                lst[index] = fixed_value[index]
                 continue
-            successors = dag.successors(node)
-            if not successors:
-                lst[node] = self._deadline - dag.duration(node)
+            successors = succs[index]
+            if successors:
+                bound = lst[successors[0]]
+                for succ in successors[1:]:
+                    if lst[succ] < bound:
+                        bound = lst[succ]
+                lst[index] = bound - duration[index]
             else:
-                lst[node] = min(lst[succ] for succ in successors) - dag.duration(node)
-            if lst[node] < est[node]:
+                lst[index] = self._deadline - duration[index]
+            if lst[index] < est[index]:
                 raise InfeasibleScheduleError(
-                    f"task {node!r} has an empty scheduling window "
-                    f"[{est[node]}, {lst[node]}] for deadline {self._deadline}"
+                    f"task {self._order[index]!r} has an empty scheduling window "
+                    f"[{est[index]}, {lst[index]}] for deadline {self._deadline}"
                 )
         self._est = est
         self._lst = lst

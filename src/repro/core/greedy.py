@@ -14,8 +14,9 @@ unscheduled tasks are updated (§5.2 of the paper).
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.carbon.intervals import PowerProfile
 from repro.core.estlst import EstLstTracker
@@ -35,10 +36,13 @@ __all__ = ["BudgetIntervals", "greedy_schedule"]
 class BudgetIntervals:
     """Mutable view of the green budget over a subdivision of the horizon.
 
-    The intervals are kept as three parallel lists (begins, ends, budgets),
-    always sorted and contiguous over ``[0, T)``.  Placing a task splits the
-    partially covered first/last intervals and decreases the budget of every
-    interval the task overlaps.
+    The interval boundaries are kept as sorted Python lists (``bisect`` plus
+    ``list.insert`` beat array reallocation at these sizes) while the budgets
+    form an ``int64`` row, always contiguous over ``[0, T)``.  Placing a task
+    splits the partially covered first/last intervals and decreases the budget
+    of every interval the task overlaps in one slice subtraction; the best
+    start of a window is a ``bisect`` plus an ``argmax`` over the budget row
+    instead of a Python scan.
     """
 
     def __init__(self, profile: PowerProfile, subdivision_points: Sequence[int]) -> None:
@@ -49,13 +53,14 @@ class BudgetIntervals:
         boundaries = points + [profile.horizon]
         self._begins: List[int] = []
         self._ends: List[int] = []
-        self._budgets: List[int] = []
+        budgets: List[int] = []
         for begin, end in zip(boundaries, boundaries[1:]):
             if end <= begin:
                 continue
             self._begins.append(begin)
             self._ends.append(end)
-            self._budgets.append(profile.budget_at(begin))
+            budgets.append(profile.budget_at(begin))
+        self._budgets = np.asarray(budgets, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     @property
@@ -65,7 +70,7 @@ class BudgetIntervals:
 
     def intervals(self) -> List[Tuple[int, int, int]]:
         """Return the current (begin, end, budget) triples."""
-        return list(zip(self._begins, self._ends, self._budgets))
+        return list(zip(self._begins, self._ends, self._budgets.tolist()))
 
     def start_points(self) -> List[int]:
         """Return the current interval start points."""
@@ -75,35 +80,37 @@ class BudgetIntervals:
         """Return the best interval start within ``[earliest, latest]``.
 
         "Best" means the interval with the highest remaining budget; ties are
-        broken towards the earliest start point.  Returns ``None`` when no
-        interval starts inside the window.
+        broken towards the earliest start point (``argmax`` keeps the first
+        maximum).  Returns ``None`` when no interval starts inside the window.
         """
-        best_budget: Optional[int] = None
-        best_begin: Optional[int] = None
         lo = bisect.bisect_left(self._begins, earliest)
-        for index in range(lo, len(self._begins)):
-            begin = self._begins[index]
-            if begin > latest:
-                break
-            budget = self._budgets[index]
-            if best_budget is None or budget > best_budget:
-                best_budget = budget
-                best_begin = begin
-        return best_begin
+        hi = bisect.bisect_right(self._begins, latest)
+        if hi <= lo:
+            return None
+        return self._begins[lo + int(self._budgets[lo:hi].argmax())]
 
     def split_at(self, time: int) -> None:
         """Split the interval containing *time* so that *time* becomes a boundary."""
         if time <= 0 or time >= self._ends[-1]:
             return
-        index = bisect.bisect_right(self._begins, time) - 1
-        if self._begins[index] == time:
-            return
-        begin, end, budget = self._begins[index], self._ends[index], self._budgets[index]
+        self._split_index(time)
+
+    def _split_index(self, time: int) -> int:
+        """Make *time* an interval boundary and return its interval index.
+
+        *time* must lie in ``[0, horizon)``.
+        """
+        begins = self._begins
+        index = bisect.bisect_right(begins, time) - 1
+        if begins[index] == time:
+            return index
+        end, budget = self._ends[index], self._budgets[index]
         # Shrink the existing interval and insert the right part after it.
         self._ends[index] = time
-        self._begins.insert(index + 1, time)
+        begins.insert(index + 1, time)
         self._ends.insert(index + 1, end)
-        self._budgets.insert(index + 1, budget)
+        self._budgets = _insert_scalar(self._budgets, index + 1, budget)
+        return index + 1
 
     def consume(self, begin: int, end: int, power: int) -> None:
         """Decrease the budget by *power* over the window ``[begin, end)``.
@@ -113,17 +120,23 @@ class BudgetIntervals:
         negative, which simply marks heavily loaded intervals as unattractive
         for subsequent tasks.
         """
-        horizon = self._ends[-1]
+        horizon = int(self._ends[-1])
         begin = max(0, int(begin))
         end = min(horizon, int(end))
         if end <= begin:
             return
-        self.split_at(begin)
-        self.split_at(end)
-        index = bisect.bisect_right(self._begins, begin) - 1
-        while index < len(self._begins) and self._begins[index] < end:
-            self._budgets[index] -= power
-            index += 1
+        lo = self._split_index(begin)
+        hi = self._split_index(end) if end < horizon else len(self._begins)
+        self._budgets[lo:hi] -= power
+
+
+def _insert_scalar(row: np.ndarray, index: int, value: int) -> np.ndarray:
+    """Insert *value* at *index* (three slice copies, no ``np.insert`` axis machinery)."""
+    out = np.empty(len(row) + 1, dtype=row.dtype)
+    out[:index] = row[:index]
+    out[index] = value
+    out[index + 1 :] = row[index:]
+    return out
 
 
 def greedy_schedule(
@@ -184,7 +197,7 @@ def greedy_schedule(
         budgets.consume(start, start + dag.duration(node), instance.active_power_of(node))
 
     name = algorithm_name or _default_name(base, weighted, refined)
-    return Schedule(instance, tracker.fixed_starts(), algorithm=name)
+    return Schedule._trusted(instance, tracker.fixed_starts(), algorithm=name)
 
 
 def _default_name(base: str, weighted: bool, refined: bool) -> str:

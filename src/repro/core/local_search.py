@@ -9,14 +9,25 @@ the deadline); the first legal move with a strictly positive carbon-cost gain
 is applied.  Rounds over all processors are repeated until a full round yields
 no gain, so the procedure is a plain hill climber and can only improve the
 schedule.
+
+Two byte-identical kernels implement the inner loop.  The default vectorized
+kernel asks :meth:`~repro.schedule.timeline.PowerTimeline.gain_profile` for
+the gains of *all* candidate starts of a task in one NumPy expression and
+keeps each task's legal window in a lazily invalidated cache (a window only
+changes when a graph neighbour actually moves).  The scalar kernel is the
+original per-candidate ``move_gain`` loop, kept as the executable reference
+and forced via the ``REPRO_SCALAR_KERNELS`` environment variable.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Set
+
+import numpy as np
 
 from repro.schedule.schedule import Schedule
 from repro.schedule.timeline import PowerTimeline
+from repro.utils.kernels import scalar_kernels_enabled
 from repro.utils.validation import check_non_negative_int, check_positive_int
 
 __all__ = ["local_search", "DEFAULT_WINDOW"]
@@ -66,7 +77,6 @@ def local_search(
 
     instance = schedule.instance
     dag = instance.dag
-    deadline = instance.deadline
     starts: Dict[Hashable, int] = schedule.start_times()
     timeline = PowerTimeline(instance, schedule)
 
@@ -77,55 +87,18 @@ def local_search(
         key=lambda proc: (-instance.dag.platform.processor(proc).p_work, str(proc)),
     )
 
+    if scalar_kernels_enabled():
+        searcher = _ScalarSearch(instance, timeline, starts)
+    else:
+        searcher = _VectorSearch(instance, timeline, starts)
+
     rounds = 0
     while True:
         round_gain = False
         for processor in processors:
-            for node in dag.tasks_on(processor):
-                current = starts[node]
-                duration = dag.duration(node)
-
-                # Legal window of the node given the *current* schedule of its
-                # neighbours (its EST/LST with every other task pinned).
-                earliest = max(
-                    (starts[pred] + dag.duration(pred) for pred in dag.predecessors(node)),
-                    default=0,
-                )
-                latest = min(
-                    (starts[succ] for succ in dag.successors(node)),
-                    default=deadline,
-                ) - duration
-                latest = min(latest, deadline - duration)
-
-                lo = max(earliest, current - window)
-                hi = min(latest, current + window)
-                if hi < lo:
-                    continue
-
-                if best_improvement:
-                    best_gain = 0
-                    best_candidate = None
-                    for candidate in range(lo, hi + 1):
-                        if candidate == current:
-                            continue
-                        gain = timeline.move_gain(node, candidate)
-                        if gain > best_gain:
-                            best_gain = gain
-                            best_candidate = candidate
-                    if best_candidate is not None:
-                        timeline.move(node, best_candidate)
-                        starts[node] = best_candidate
-                        round_gain = True
-                else:
-                    for candidate in range(lo, hi + 1):
-                        if candidate == current:
-                            continue
-                        gain = timeline.move_gain(node, candidate)
-                        if gain > 0:
-                            timeline.move(node, candidate)
-                            starts[node] = candidate
-                            round_gain = True
-                            break
+            for node in searcher.tasks_on(processor):
+                if searcher.improve(node, window, best_improvement):
+                    round_gain = True
 
         rounds += 1
         if not round_gain:
@@ -134,4 +107,183 @@ def local_search(
             break
 
     name = algorithm_name or f"{schedule.algorithm}-LS"
-    return Schedule(instance, starts, algorithm=name)
+    return Schedule._trusted(instance, starts, algorithm=name)
+
+
+class _ScalarSearch:
+    """The original per-candidate ``move_gain`` loop (reference kernel)."""
+
+    def __init__(
+        self,
+        instance,
+        timeline: PowerTimeline,
+        starts: Dict[Hashable, int],
+    ) -> None:
+        self._dag = instance.dag
+        self._deadline = instance.deadline
+        self._timeline = timeline
+        self._starts = starts
+
+    def tasks_on(self, processor: Hashable) -> List[Hashable]:
+        return self._dag.tasks_on(processor)
+
+    def improve(self, node: Hashable, window: int, best_improvement: bool) -> bool:
+        dag, starts, timeline = self._dag, self._starts, self._timeline
+        current = starts[node]
+        duration = dag.duration(node)
+
+        # Legal window of the node given the *current* schedule of its
+        # neighbours (its EST/LST with every other task pinned).
+        earliest = max(
+            (starts[pred] + dag.duration(pred) for pred in dag.predecessors(node)),
+            default=0,
+        )
+        latest = min(
+            (starts[succ] for succ in dag.successors(node)),
+            default=self._deadline,
+        ) - duration
+        latest = min(latest, self._deadline - duration)
+
+        lo = max(earliest, current - window)
+        hi = min(latest, current + window)
+        if hi < lo:
+            return False
+
+        if best_improvement:
+            best_gain = 0
+            best_candidate = None
+            for candidate in range(lo, hi + 1):
+                if candidate == current:
+                    continue
+                gain = timeline.move_gain(node, candidate)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_candidate = candidate
+            if best_candidate is not None:
+                timeline.move(node, best_candidate)
+                starts[node] = best_candidate
+                return True
+        else:
+            for candidate in range(lo, hi + 1):
+                if candidate == current:
+                    continue
+                gain = timeline.move_gain(node, candidate)
+                if gain > 0:
+                    timeline.move(node, candidate)
+                    starts[node] = candidate
+                    return True
+        return False
+
+
+class _VectorSearch:
+    """Batch-gain kernel: one ``gain_profile`` call per task visit.
+
+    The per-task legal window is cached and only recomputed after a graph
+    neighbour moved (moves are rare compared to visits, so almost every visit
+    reuses the cached window), and the gains of all candidate starts come
+    from a single vectorized timeline evaluation.  A task whose last
+    evaluation found no improving move is additionally marked *clean* together
+    with the time region its gains depend on; it is skipped outright until a
+    later move touches that region (in particular, the final no-gain round of
+    the hill climber re-evaluates nothing).
+    """
+
+    def __init__(
+        self,
+        instance,
+        timeline: PowerTimeline,
+        starts: Dict[Hashable, int],
+    ) -> None:
+        dag = instance.dag
+        self._deadline = instance.deadline
+        self._timeline = timeline
+        self._starts = starts
+        nodes = dag.nodes()
+        self._duration: Dict[Hashable, int] = dag.duration_map()
+        self._preds: Dict[Hashable, List[Hashable]] = dag.predecessor_map()
+        self._succs: Dict[Hashable, List[Hashable]] = dag.successor_map()
+        self._tasks_on: Dict[Hashable, List[Hashable]] = dag.ordered_task_map()
+        self._earliest: Dict[Hashable, int] = {}
+        self._latest: Dict[Hashable, int] = {}
+        self._dirty_earliest: Set[Hashable] = set(nodes)
+        self._dirty_latest: Set[Hashable] = set(nodes)
+        # Nodes proven to have no improving move, with the [begin, end) power
+        # region that proof depends on.
+        self._clean_region: Dict[Hashable, "tuple[int, int]"] = {}
+
+    def tasks_on(self, processor: Hashable) -> List[Hashable]:
+        return self._tasks_on[processor]
+
+    def _window_of(self, node: Hashable) -> "tuple[int, int]":
+        starts = self._starts
+        if node in self._dirty_earliest:
+            earliest = 0
+            for pred in self._preds[node]:
+                finish = starts[pred] + self._duration[pred]
+                if finish > earliest:
+                    earliest = finish
+            self._earliest[node] = earliest
+            self._dirty_earliest.discard(node)
+        if node in self._dirty_latest:
+            bound = self._deadline
+            for succ in self._succs[node]:
+                if starts[succ] < bound:
+                    bound = starts[succ]
+            self._latest[node] = bound - self._duration[node]
+            self._dirty_latest.discard(node)
+        return self._earliest[node], self._latest[node]
+
+    def _apply_move(self, node: Hashable, old_start: int, candidate: int) -> None:
+        timeline = self._timeline
+        timeline._remove_unchecked(node, old_start)
+        timeline._place_unchecked(node, candidate)
+        self._starts[node] = candidate
+        for succ in self._succs[node]:
+            self._dirty_earliest.add(succ)
+            self._clean_region.pop(succ, None)
+        for pred in self._preds[node]:
+            self._dirty_latest.add(pred)
+            self._clean_region.pop(pred, None)
+        # Invalidate every no-gain proof whose power region overlaps the
+        # changed window.
+        changed_begin = min(old_start, candidate)
+        changed_end = max(old_start, candidate) + self._duration[node]
+        stale = [
+            other
+            for other, (begin, end) in self._clean_region.items()
+            if begin < changed_end and changed_begin < end
+        ]
+        for other in stale:
+            del self._clean_region[other]
+
+    def improve(self, node: Hashable, window: int, best_improvement: bool) -> bool:
+        if node in self._clean_region:
+            return False
+        current = self._starts[node]
+        earliest, latest = self._window_of(node)
+        lo = max(earliest, current - window)
+        hi = min(latest, current + window)
+        if hi < lo:
+            self._clean_region[node] = (current, current + self._duration[node])
+            return False
+
+        gains = self._timeline.gain_profile(node, lo, hi)
+        if best_improvement:
+            index = int(gains.argmax())
+        else:
+            positive = (gains > 0).nonzero()[0]
+            if not positive.size:
+                self._clean_region[node] = (
+                    min(lo, current),
+                    max(hi, current) + self._duration[node],
+                )
+                return False
+            index = int(positive[0])
+        if gains[index] <= 0:
+            self._clean_region[node] = (
+                min(lo, current),
+                max(hi, current) + self._duration[node],
+            )
+            return False
+        self._apply_move(node, current, lo + index)
+        return True

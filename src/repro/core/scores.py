@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List
 
+import numpy as np
+
 from repro.mapping.enhanced_dag import EnhancedDAG
 from repro.utils.errors import CaWoSchedError
 
@@ -45,12 +47,25 @@ def weight_factors(dag: EnhancedDAG) -> Dict[Hashable, float]:
     platform, hence lies in ``(0, 1]``.
     """
     max_power = max(spec.total_power for spec in dag.platform.processors())
+    nodes = dag.nodes()
     if max_power <= 0:
         # Degenerate platform (all powers zero): weighting has no effect.
-        return {node: 1.0 for node in dag.nodes()}
-    return {
-        node: dag.processor_spec(node).total_power / max_power for node in dag.nodes()
-    }
+        return {node: 1.0 for node in nodes}
+    totals = _node_powers(dag, nodes)
+    return dict(zip(nodes, (totals / max_power).tolist()))
+
+
+def _node_powers(dag: EnhancedDAG, nodes: List[Hashable]) -> np.ndarray:
+    """Return the per-node total (idle + working) processor power as a row.
+
+    Powers are looked up once per *processor* and broadcast to the nodes it
+    executes, so the Python-level attribute chase is proportional to the
+    platform size, not the DAG size.
+    """
+    power_of = {spec.name: spec.total_power for spec in dag.platform.processors()}
+    return np.array(
+        [power_of[dag.processor(node)] for node in nodes], dtype=np.float64
+    )
 
 
 def slack_scores(
@@ -61,18 +76,17 @@ def slack_scores(
     weighted: bool = False,
 ) -> Dict[Hashable, float]:
     """Return the (optionally weighted) slack score of every node."""
-    factors = weight_factors(dag) if weighted else None
-    scores: Dict[Hashable, float] = {}
-    for node in dag.nodes():
-        slack = float(lst[node] - est[node])
-        if weighted:
-            factor = factors[node]
-            # Reciprocal weighting: power-hungry processors (factor close to 1)
-            # keep their slack, light processors get their slack inflated and
-            # therefore move towards the back of the non-decreasing order.
-            slack = slack / factor if factor > 0 else slack
-        scores[node] = slack
-    return scores
+    nodes = dag.nodes()
+    slack = np.array([lst[node] - est[node] for node in nodes], dtype=np.float64)
+    if weighted:
+        factors = weight_factors(dag)
+        factor_row = np.array([factors[node] for node in nodes], dtype=np.float64)
+        # Reciprocal weighting: power-hungry processors (factor close to 1)
+        # keep their slack, light processors get their slack inflated and
+        # therefore move towards the back of the non-decreasing order.
+        positive = factor_row > 0
+        slack = np.where(positive, slack / np.where(positive, factor_row, 1.0), slack)
+    return dict(zip(nodes, slack.tolist()))
 
 
 def pressure_scores(
@@ -83,16 +97,16 @@ def pressure_scores(
     weighted: bool = False,
 ) -> Dict[Hashable, float]:
     """Return the (optionally weighted) pressure score of every node."""
-    factors = weight_factors(dag) if weighted else None
-    scores: Dict[Hashable, float] = {}
-    for node in dag.nodes():
-        duration = dag.duration(node)
-        slack = lst[node] - est[node]
-        pressure = duration / (slack + duration)
-        if weighted:
-            pressure *= factors[node]
-        scores[node] = float(pressure)
-    return scores
+    nodes = dag.nodes()
+    duration = np.array([dag.duration(node) for node in nodes], dtype=np.float64)
+    slack = np.array([lst[node] - est[node] for node in nodes], dtype=np.float64)
+    pressure = duration / (slack + duration)
+    if weighted:
+        factors = weight_factors(dag)
+        pressure = pressure * np.array(
+            [factors[node] for node in nodes], dtype=np.float64
+        )
+    return dict(zip(nodes, pressure.tolist()))
 
 
 def compute_scores(

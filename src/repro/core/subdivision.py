@@ -13,7 +13,9 @@ paper, default ``k = 3``).
 
 from __future__ import annotations
 
-from typing import Hashable, List, Sequence, Set
+from typing import List, Set
+
+import numpy as np
 
 from repro.carbon.intervals import PowerProfile
 from repro.schedule.instance import ProblemInstance
@@ -52,34 +54,44 @@ def block_alignment_points(
     dag = instance.dag
     profile = instance.profile
     horizon = profile.horizon
-    boundaries = profile.boundaries()
+    boundary_row = np.asarray(profile.boundaries(), dtype=np.int64)
 
-    points: Set[int] = set()
+    # With prefix sums ``P`` of a processor's task durations, the start of the
+    # r-th task of a block i..i+L-1 aligned at boundary ``b`` is
+    # ``b + (P[i+r] - P[i])`` (start alignment) or ``b - (P[i+L] - P[i+r])``
+    # (end alignment, subject to the block start ``b - (P[i+L] - P[i]) >= 0``).
+    # Ranging over all valid (i, L, r), the emitted values collapse to
+    # ``b + D`` for every duration-window sum ``D`` of at most ``block_size - 1``
+    # consecutive tasks (not ending at the last task) and ``b - D`` for every
+    # window sum of 1..block_size consecutive tasks: for ``b - D`` the
+    # weakest block-start guard is attained with the block equal to the
+    # window itself, where it coincides with the ``candidate >= 0`` filter.
+    # Two broadcasts over the collected lag differences replace the
+    # per-(block, alignment, task) Python loops.
+    plus_chunks: List[np.ndarray] = [np.zeros(1, dtype=np.int64)]
+    minus_chunks: List[np.ndarray] = []
     for processor in dag.processors_with_tasks():
         tasks = dag.tasks_on(processor)
-        durations = [dag.duration(task) for task in tasks]
         num_tasks = len(tasks)
-        for begin_index in range(num_tasks):
-            block_duration = 0
-            # Prefix sums of durations within the block, so that the start of
-            # the r-th task of the block is block_start + offsets[r].
-            offsets: List[int] = []
-            for end_index in range(begin_index, min(begin_index + block_size, num_tasks)):
-                offsets.append(block_duration)
-                block_duration += durations[end_index]
-                for boundary in boundaries:
-                    # Alignment 1: the block starts at the boundary.
-                    start_aligned = boundary
-                    # Alignment 2: the block ends at the boundary.
-                    end_aligned = boundary - block_duration
-                    for block_start in (start_aligned, end_aligned):
-                        if block_start < 0:
-                            continue
-                        for offset in offsets:
-                            candidate = block_start + offset
-                            if 0 <= candidate < horizon:
-                                points.add(candidate)
-    return points
+        durations = np.array([dag.duration(task) for task in tasks], dtype=np.int64)
+        prefix = np.concatenate(([0], np.cumsum(durations)))
+        for lag in range(1, min(block_size, num_tasks) + 1):
+            if lag < block_size and lag < num_tasks:
+                plus_chunks.append(prefix[lag:num_tasks] - prefix[: num_tasks - lag])
+            minus_chunks.append(prefix[lag:] - prefix[: num_tasks + 1 - lag])
+    if not minus_chunks:
+        # No processor executes any task, so no block induces any candidate.
+        return set()
+    offsets = np.concatenate(plus_chunks)
+    window_sums = np.concatenate(minus_chunks)
+    merged = np.concatenate(
+        [
+            (boundary_row[:, None] + offsets[None, :]).ravel(),
+            (boundary_row[:, None] - window_sums[None, :]).ravel(),
+        ]
+    )
+    merged = merged[(merged >= 0) & (merged < horizon)]
+    return set(np.unique(merged).tolist())
 
 
 def refined_subdivision(

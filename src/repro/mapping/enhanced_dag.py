@@ -65,6 +65,19 @@ class EnhancedDAG:
                 "orderings are inconsistent with the precedence constraints"
             )
         self._order = topological_order(graph)
+        # Read-only maps shared by the scheduling kernels: the DAG is
+        # immutable after construction, so durations and adjacency are
+        # materialised once instead of being re-chased through the graph on
+        # every greedy/local-search run.
+        self._duration_map: Dict[Hashable, int] = {
+            node: int(graph.nodes[node]["duration"]) for node in self._order
+        }
+        self._pred_map: Dict[Hashable, List[Hashable]] = {
+            node: list(graph.predecessors(node)) for node in self._order
+        }
+        self._succ_map: Dict[Hashable, List[Hashable]] = {
+            node: list(graph.successors(node)) for node in self._order
+        }
 
     # ------------------------------------------------------------------ #
     @property
@@ -102,7 +115,19 @@ class EnhancedDAG:
 
     def duration(self, node: Hashable) -> int:
         """Return the running time of *node* on its assigned processor."""
-        return int(self._graph.nodes[node]["duration"])
+        return self._duration_map[node]
+
+    def duration_map(self) -> Dict[Hashable, int]:
+        """Return the node → duration map (treat as read-only)."""
+        return self._duration_map
+
+    def predecessor_map(self) -> Dict[Hashable, List[Hashable]]:
+        """Return the node → predecessors map (treat as read-only)."""
+        return self._pred_map
+
+    def successor_map(self) -> Dict[Hashable, List[Hashable]]:
+        """Return the node → successors map (treat as read-only)."""
+        return self._succ_map
 
     def processor(self, node: Hashable) -> Hashable:
         """Return the name of the processor executing *node*."""
@@ -118,11 +143,11 @@ class EnhancedDAG:
 
     def predecessors(self, node: Hashable) -> List[Hashable]:
         """Return the direct predecessors of *node* in ``Gc``."""
-        return list(self._graph.predecessors(node))
+        return list(self._pred_map[node])
 
     def successors(self, node: Hashable) -> List[Hashable]:
         """Return the direct successors of *node* in ``Gc``."""
-        return list(self._graph.successors(node))
+        return list(self._succ_map[node])
 
     def topological_order(self) -> List[Hashable]:
         """Return a deterministic topological order of ``Gc`` (cached)."""
@@ -131,6 +156,10 @@ class EnhancedDAG:
     def tasks_on(self, processor: Hashable) -> List[Hashable]:
         """Return the ordered nodes executed by *processor* (compute or link)."""
         return list(self._processor_tasks.get(processor, []))
+
+    def ordered_task_map(self) -> Dict[Hashable, List[Hashable]]:
+        """Return the processor → ordered tasks map (treat as read-only)."""
+        return self._processor_tasks
 
     def processors_with_tasks(self) -> List[Hashable]:
         """Return processors (compute and link) that execute at least one node."""

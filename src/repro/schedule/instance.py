@@ -10,7 +10,8 @@ schedulers, cost evaluators and exact algorithms take a problem instance.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Optional
+from functools import cached_property
+from typing import Dict, Hashable
 
 from repro.carbon.intervals import PowerProfile
 from repro.mapping.enhanced_dag import EnhancedDAG
@@ -78,11 +79,25 @@ class ProblemInstance:
 
     def work_power_of(self, node: Hashable) -> int:
         """Working power of the processor that executes *node*."""
-        return self.dag.processor_spec(node).p_work
+        return self.work_power_map[node]
 
     def active_power_of(self, node: Hashable) -> int:
         """Idle plus working power of the processor that executes *node*."""
-        return self.dag.processor_spec(node).total_power
+        return self.active_power_map[node]
+
+    @cached_property
+    def work_power_map(self) -> Dict[Hashable, int]:
+        """Node → working power of its processor (computed once, read-only)."""
+        dag = self.dag
+        p_work = {spec.name: spec.p_work for spec in dag.platform.processors()}
+        return {node: p_work[dag.processor(node)] for node in dag.nodes()}
+
+    @cached_property
+    def active_power_map(self) -> Dict[Hashable, int]:
+        """Node → idle + working power of its processor (computed once, read-only)."""
+        dag = self.dag
+        total = {spec.name: spec.total_power for spec in dag.platform.processors()}
+        return {node: total[dag.processor(node)] for node in dag.nodes()}
 
     def describe(self) -> Dict[str, object]:
         """Return a dictionary summary (used by experiment reports)."""

@@ -63,6 +63,26 @@ class Schedule:
                 raise InvalidScheduleError(f"task {node!r} has negative start time {value}")
             self._start[node] = value
 
+    @classmethod
+    def _trusted(
+        cls,
+        instance: ProblemInstance,
+        start_times: Dict[Hashable, int],
+        *,
+        algorithm: str,
+    ) -> "Schedule":
+        """Internal fast path: adopt *start_times* without membership checks.
+
+        Callers must pass a plain dict of native non-negative ints covering
+        exactly the instance's nodes (the greedy phase and the local search
+        maintain exactly that invariant); the dict is adopted, not copied.
+        """
+        schedule = cls.__new__(cls)
+        schedule._instance = instance
+        schedule._algorithm = algorithm
+        schedule._start = start_times
+        return schedule
+
     # ------------------------------------------------------------------ #
     @property
     def instance(self) -> ProblemInstance:

@@ -43,10 +43,30 @@ class PowerTimeline:
         horizon = instance.deadline
         self._power = np.full(horizon, instance.total_idle_power(), dtype=np.int64)
         self._budget = instance.profile.budgets_per_time_unit()
+        # Durations and working powers are read on every mutation; the
+        # instance-level maps are computed once and shared across runs.
+        self._duration: Dict[Hashable, int] = instance.dag.duration_map()
+        self._work_power: Dict[Hashable, int] = instance.work_power_map
+        # Reusable scratch rows for gain_profile (avoids two allocations per
+        # evaluation; the returned gain vector is always a fresh array).
+        self._scratch = np.empty(horizon, dtype=np.int64)
+        self._scratch_prefix = np.empty(horizon + 1, dtype=np.int64)
         self._starts: Dict[Hashable, int] = {}
         if schedule is not None:
+            starts = schedule.start_times()
+            power = self._power
             for node in instance.dag.nodes():
-                self.place(node, schedule.start(node))
+                start = starts[node]
+                duration = self._duration[node]
+                if start < 0 or start + duration > horizon:
+                    raise InvalidScheduleError(
+                        f"task {node!r} at start {start} (duration {duration}) does "
+                        f"not fit into the horizon [0, {horizon})"
+                    )
+                work_power = self._work_power[node]
+                if work_power:
+                    power[start : start + duration] += work_power
+            self._starts = starts
 
     # ------------------------------------------------------------------ #
     @property
@@ -82,31 +102,62 @@ class PowerTimeline:
         if node in self._starts:
             raise InvalidScheduleError(f"task {node!r} is already placed")
         start = int(start)
-        duration = self._instance.dag.duration(node)
+        duration = self._duration[node]
         if start < 0 or start + duration > self.horizon:
             raise InvalidScheduleError(
                 f"task {node!r} at start {start} (duration {duration}) does not fit "
                 f"into the horizon [0, {self.horizon})"
             )
-        work_power = self._instance.work_power_of(node)
-        if work_power:
-            self._power[start : start + duration] += work_power
-        self._starts[node] = start
+        self._place_unchecked(node, start)
 
     def remove(self, node: Hashable) -> int:
         """Remove *node* from the timeline and return its previous start time."""
         start = self.start_of(node)
-        duration = self._instance.dag.duration(node)
-        work_power = self._instance.work_power_of(node)
+        return self._remove_unchecked(node, start)
+
+    def _place_unchecked(self, node: Hashable, start: int) -> None:
+        """Place *node* at *start* without horizon/duplicate checks.
+
+        Internal fast path for callers that already validated the placement
+        (the local search clamps every candidate to the feasible window before
+        evaluating it).
+        """
+        duration = self._duration[node]
+        work_power = self._work_power[node]
+        if work_power:
+            self._power[start : start + duration] += work_power
+        self._starts[node] = start
+
+    def _remove_unchecked(self, node: Hashable, start: int) -> int:
+        """Remove *node* (placed at *start*) without looking it up again."""
+        duration = self._duration[node]
+        work_power = self._work_power[node]
         if work_power:
             self._power[start : start + duration] -= work_power
         del self._starts[node]
         return start
 
     def move(self, node: Hashable, new_start: int) -> None:
-        """Move *node* to *new_start* (remove + place)."""
-        self.remove(node)
-        self.place(node, new_start)
+        """Move *node* to *new_start* with two slice updates.
+
+        Unlike a ``remove`` + ``place`` pair this validates once and keeps the
+        node's dictionary entry in place.
+        """
+        old_start = self.start_of(node)
+        new_start = int(new_start)
+        if new_start == old_start:
+            return
+        duration = self._duration[node]
+        if new_start < 0 or new_start + duration > self.horizon:
+            raise InvalidScheduleError(
+                f"task {node!r} at start {new_start} (duration {duration}) does not "
+                f"fit into the horizon [0, {self.horizon})"
+            )
+        work_power = self._work_power[node]
+        if work_power:
+            self._power[old_start : old_start + duration] -= work_power
+            self._power[new_start : new_start + duration] += work_power
+        self._starts[node] = new_start
 
     # ------------------------------------------------------------------ #
     # Cost evaluation
@@ -133,7 +184,7 @@ class PowerTimeline:
         old_start = self.start_of(node)
         if new_start == old_start:
             return 0
-        duration = self._instance.dag.duration(node)
+        duration = self._duration[node]
         if new_start < 0 or new_start + duration > self.horizon:
             raise InvalidScheduleError(
                 f"task {node!r} cannot move to {new_start}: outside the horizon"
@@ -145,6 +196,64 @@ class PowerTimeline:
         after = self.segment_cost(window_begin, window_end)
         self.move(node, old_start)
         return before - after
+
+    def gain_profile(self, node: Hashable, lo: int, hi: int) -> np.ndarray:
+        """Return the move gains of all candidate starts ``lo .. hi`` at once.
+
+        The result is an ``int64`` array of length ``hi - lo + 1`` whose entry
+        ``s - lo`` equals ``move_gain(node, s)`` (the entry for the current
+        start, when inside the window, is 0).  Instead of the per-candidate
+        remove/place round-trips of :meth:`move_gain`, the node is removed
+        once and every candidate is evaluated with a single prefix-sum
+        expression over the affected window:
+
+        with ``excess[t] = power[t] - budget[t]`` after removing the node, the
+        cost delta of covering ``t`` is ``max(excess[t] + p, 0) -
+        max(excess[t], 0) = clip(excess[t], -p, 0) + p``; the constant ``p``
+        per covered unit is shared by every candidate and cancels in the gain
+        differences, so the cost of candidate ``s`` differs from the shared
+        baseline by the sum of ``clip(excess, -p, 0)`` over ``[s, s + d)`` — a
+        sliding-window sum obtained from one cumulative sum.  All arithmetic
+        is integer, so the profile is bit-identical to the scalar loop.
+
+        The timeline is left unchanged.
+        """
+        old_start = self.start_of(node)
+        lo = int(lo)
+        hi = int(hi)
+        duration = self._duration[node]
+        if lo < 0 or hi + duration > self.horizon:
+            raise InvalidScheduleError(
+                f"task {node!r} cannot move within [{lo}, {hi}]: outside the horizon"
+            )
+        if hi < lo:
+            return np.zeros(0, dtype=np.int64)
+        work_power = self._work_power[node]
+        if not work_power or not duration:
+            # A zero-power or zero-length node never changes the cost.
+            return np.zeros(hi - lo + 1, dtype=np.int64)
+        window_begin = min(lo, old_start)
+        window_end = max(hi, old_start) + duration
+        length = window_end - window_begin
+        excess = self._scratch[:length]
+        np.subtract(
+            self._power[window_begin:window_end],
+            self._budget[window_begin:window_end],
+            out=excess,
+        )
+        rel_old = old_start - window_begin
+        excess[rel_old : rel_old + duration] -= work_power
+        np.minimum(excess, 0, out=excess)
+        np.maximum(excess, -work_power, out=excess)
+        prefix = self._scratch_prefix[: length + 1]
+        prefix[0] = 0
+        excess.cumsum(out=prefix[1:])
+        # The excess row is dead after the cumsum; reuse it for the window sums.
+        window_sums = np.subtract(
+            prefix[duration:], prefix[:-duration], out=self._scratch[: length + 1 - duration]
+        )
+        rel_lo = lo - window_begin
+        return window_sums[rel_old] - window_sums[rel_lo : rel_lo + hi - lo + 1]
 
     def as_schedule(self, *, algorithm: str = "timeline") -> Schedule:
         """Return the currently placed start times as a :class:`Schedule`.

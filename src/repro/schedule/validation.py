@@ -37,6 +37,8 @@ def feasibility_violations(schedule: Schedule, *, limit: Optional[int] = None) -
     instance = schedule.instance
     dag = instance.dag
     deadline = instance.deadline
+    starts = schedule.start_times()
+    duration = dag.duration_map()
     violations: List[str] = []
 
     def add(message: str) -> bool:
@@ -45,8 +47,8 @@ def feasibility_violations(schedule: Schedule, *, limit: Optional[int] = None) -
 
     # 1. Horizon.
     for node in dag.nodes():
-        start = schedule.start(node)
-        finish = start + dag.duration(node)
+        start = starts[node]
+        finish = start + duration[node]
         if start < 0:
             if add(f"task {node!r} starts at negative time {start}"):
                 return violations
@@ -58,10 +60,10 @@ def feasibility_violations(schedule: Schedule, *, limit: Optional[int] = None) -
 
     # 2. Precedence (includes the ordering chain edges).
     for source, target in dag.edges():
-        source_finish = schedule.start(source) + dag.duration(source)
-        if schedule.start(target) < source_finish:
+        source_finish = starts[source] + duration[source]
+        if starts[target] < source_finish:
             if add(
-                f"precedence violated: {target!r} starts at {schedule.start(target)} "
+                f"precedence violated: {target!r} starts at {starts[target]} "
                 f"before {source!r} finishes at {source_finish}"
             ):
                 return violations
@@ -69,9 +71,9 @@ def feasibility_violations(schedule: Schedule, *, limit: Optional[int] = None) -
     # 3. Non-overlap per processor (explicit, although implied by 2 + chains).
     for processor in dag.processors_with_tasks():
         tasks = dag.tasks_on(processor)
-        ordered = sorted(tasks, key=schedule.start)
+        ordered = sorted(tasks, key=starts.__getitem__)
         for earlier, later in zip(ordered, ordered[1:]):
-            if schedule.start(later) < schedule.start(earlier) + dag.duration(earlier):
+            if starts[later] < starts[earlier] + duration[earlier]:
                 if add(
                     f"tasks {earlier!r} and {later!r} overlap on processor {processor!r}"
                 ):

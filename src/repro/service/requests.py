@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.api.jobs import Job, job_fingerprint
+from repro.api.jobs import Job, job_fingerprint, shared_instance_payload
 from repro.core.scheduler import CaWoSched
 from repro.core.variants import variant_names
 from repro.experiments.runner import RunRecord
@@ -79,7 +79,7 @@ class ScheduleRequest:
         scheduler = scheduler or CaWoSched()
         names = tuple(variants) if variants is not None else tuple(variant_names())
         return cls(
-            payload=instance_to_dict(instance),
+            payload=shared_instance_payload(instance),
             variants=names,
             scheduler=scheduler.config_dict(),
             live_instance=instance,

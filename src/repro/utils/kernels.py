@@ -1,0 +1,27 @@
+"""Kernel selection: vectorized fast paths vs the scalar reference path.
+
+The scheduling hot paths (batch gain profiles in the local search, the
+incremental EST/LST propagation of the greedy phase) have two byte-identical
+implementations: a vectorized/incremental kernel used by default, and the
+original scalar code kept as the executable specification.  Setting the
+environment variable :data:`SCALAR_KERNELS_ENV` to a truthy value forces the
+scalar path everywhere; the escape hatch is guaranteed for one release so
+downstream users can bisect a suspected kernel bug without pinning an old
+version.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["SCALAR_KERNELS_ENV", "scalar_kernels_enabled"]
+
+#: Environment variable forcing the scalar reference kernels.
+SCALAR_KERNELS_ENV = "REPRO_SCALAR_KERNELS"
+
+_FALSY = frozenset({"", "0", "false", "no", "off"})
+
+
+def scalar_kernels_enabled() -> bool:
+    """Return whether the scalar reference kernels are forced via the environment."""
+    return os.environ.get(SCALAR_KERNELS_ENV, "").strip().lower() not in _FALSY

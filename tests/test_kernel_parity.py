@@ -1,0 +1,200 @@
+"""Parity suite for the vectorized scheduling kernels.
+
+The hot paths have two implementations: the vectorized/incremental kernels
+used by default and the scalar reference path forced via
+``REPRO_SCALAR_KERNELS``.  These tests pin the contract that both are
+*byte-identical*:
+
+* ``PowerTimeline.gain_profile`` equals a loop of scalar ``move_gain`` calls,
+* ``local_search`` returns identical start times under both kernels,
+* ``EstLstTracker`` produces identical EST/LST maps incrementally and with
+  the full two-sweep recompute,
+* the lag-difference form of ``block_alignment_points`` equals the original
+  per-(block, alignment, task) enumeration.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carbon.scenarios import generate_power_profile
+from repro.core.estlst import EstLstTracker
+from repro.core.greedy import greedy_schedule
+from repro.core.local_search import local_search
+from repro.core.subdivision import block_alignment_points
+from repro.mapping.enhanced_dag import build_enhanced_dag
+from repro.mapping.heft import heft_mapping
+from repro.platform_.presets import cluster_from_table1
+from repro.schedule.asap import asap_makespan
+from repro.schedule.instance import ProblemInstance
+from repro.schedule.timeline import PowerTimeline
+from repro.utils.kernels import SCALAR_KERNELS_ENV
+from repro.utils.rng import ensure_rng
+from repro.workflow.generators import generate_workflow
+
+
+def build_random_instance(family: str, num_tasks: int, scenario: str,
+                          deadline_factor: float, seed: int) -> ProblemInstance:
+    workflow = generate_workflow(family, num_tasks, rng=seed)
+    cluster = cluster_from_table1(1, name="parity")
+    mapping = heft_mapping(workflow, cluster).mapping
+    dag = build_enhanced_dag(mapping, rng=seed)
+    deadline = max(1, int(deadline_factor * asap_makespan(dag)))
+    profile = generate_power_profile(
+        scenario, deadline,
+        idle_power=dag.platform.total_idle_power(),
+        work_power=dag.platform.total_work_power(),
+        num_intervals=8, rng=seed,
+    )
+    return ProblemInstance(dag, profile)
+
+
+@contextmanager
+def scalar_kernels():
+    """Force the scalar reference kernels for the duration of the block."""
+    os.environ[SCALAR_KERNELS_ENV] = "1"
+    try:
+        yield
+    finally:
+        os.environ.pop(SCALAR_KERNELS_ENV, None)
+
+
+INSTANCE_STRATEGY = st.builds(
+    build_random_instance,
+    family=st.sampled_from(["atacseq", "eager", "forkjoin", "chain"]),
+    num_tasks=st.integers(6, 25),
+    scenario=st.sampled_from(["S1", "S2", "S3", "S4"]),
+    deadline_factor=st.sampled_from([1.5, 2.0, 3.0]),
+    seed=st.integers(0, 10**6),
+)
+
+
+class TestGainProfileParity:
+    @given(instance=INSTANCE_STRATEGY, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_gain_profile_equals_scalar_move_gain_loop(self, instance, data):
+        schedule = greedy_schedule(instance, base="slack")
+        timeline = PowerTimeline(instance, schedule)
+        dag = instance.dag
+        node = data.draw(st.sampled_from(dag.nodes()), label="node")
+        duration = dag.duration(node)
+        start = timeline.start_of(node)
+        limit = instance.deadline - duration
+        lo = data.draw(st.integers(0, min(start, limit)), label="lo")
+        hi = data.draw(st.integers(lo, limit), label="hi")
+
+        profile = timeline.gain_profile(node, lo, hi)
+        expected = [
+            timeline.move_gain(node, candidate) if candidate != start else 0
+            for candidate in range(lo, hi + 1)
+        ]
+        assert profile.dtype == np.int64
+        assert profile.tolist() == expected
+        # The timeline itself is untouched by the evaluation.
+        assert timeline.start_of(node) == start
+
+    @given(instance=INSTANCE_STRATEGY)
+    @settings(max_examples=10, deadline=None)
+    def test_empty_window_yields_empty_profile(self, instance):
+        schedule = greedy_schedule(instance, base="pressure")
+        timeline = PowerTimeline(instance, schedule)
+        node = instance.dag.nodes()[0]
+        start = timeline.start_of(node)
+        assert timeline.gain_profile(node, start, start - 1).size == 0
+
+
+class TestLocalSearchParity:
+    @given(
+        instance=INSTANCE_STRATEGY,
+        base=st.sampled_from(["slack", "pressure"]),
+        best=st.booleans(),
+        window=st.integers(1, 12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_local_search_byte_identical_between_kernels(
+        self, instance, base, best, window
+    ):
+        greedy = greedy_schedule(instance, base=base, refined=True)
+        fast = local_search(greedy, window=window, best_improvement=best)
+        with scalar_kernels():
+            slow = local_search(greedy, window=window, best_improvement=best)
+        assert fast.start_times() == slow.start_times()
+        assert fast.algorithm == slow.algorithm
+
+    def test_seed_grid_byte_identity(self):
+        from repro.core.scheduler import CaWoSched
+        from repro.experiments.instances import default_grid, make_instance
+
+        scheduler = CaWoSched()
+        specs = default_grid(sizes=(24,), seed=0)[::6]
+        variants = ["slack-LS", "press-LS", "slackWR-LS", "pressWR-LS"]
+        for spec in specs:
+            instance = make_instance(spec, master_seed=0)
+            for variant in variants:
+                fast = scheduler.schedule(instance, variant)
+                with scalar_kernels():
+                    slow = scheduler.schedule(instance, variant)
+                assert fast.start_times() == slow.start_times(), (spec, variant)
+
+
+class TestEstLstParity:
+    @given(instance=INSTANCE_STRATEGY, seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_incremental_fix_matches_full_recompute(self, instance, seed):
+        dag = instance.dag
+        incremental = EstLstTracker(dag, instance.deadline, incremental=True)
+        reference = EstLstTracker(dag, instance.deadline, incremental=False)
+        assert incremental.est_map() == reference.est_map()
+        assert incremental.lst_map() == reference.lst_map()
+
+        rng = ensure_rng(seed)
+        for node in dag.topological_order():
+            lo, hi = incremental.est(node), incremental.lst(node)
+            start = int(rng.integers(lo, hi + 1)) if hi > lo else lo
+            incremental.fix(node, start)
+            reference.fix(node, start)
+            assert incremental.est_map() == reference.est_map()
+            assert incremental.lst_map() == reference.lst_map()
+
+
+class TestSubdivisionParity:
+    @given(instance=INSTANCE_STRATEGY, block_size=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_block_alignment_points_match_naive_enumeration(
+        self, instance, block_size
+    ):
+        expected = _naive_block_alignment_points(instance, block_size)
+        assert block_alignment_points(instance, block_size=block_size) == expected
+
+
+def _naive_block_alignment_points(instance: ProblemInstance, block_size: int) -> set:
+    """The original per-(block, alignment, task) enumeration, kept as oracle."""
+    dag = instance.dag
+    profile = instance.profile
+    horizon = profile.horizon
+    boundaries = profile.boundaries()
+    points = set()
+    for processor in dag.processors_with_tasks():
+        tasks = dag.tasks_on(processor)
+        durations = [dag.duration(task) for task in tasks]
+        num_tasks = len(tasks)
+        for begin_index in range(num_tasks):
+            block_duration = 0
+            offsets = []
+            for end_index in range(begin_index, min(begin_index + block_size, num_tasks)):
+                offsets.append(block_duration)
+                block_duration += durations[end_index]
+                for boundary in boundaries:
+                    for block_start in (boundary, boundary - block_duration):
+                        if block_start < 0:
+                            continue
+                        for offset in offsets:
+                            candidate = block_start + offset
+                            if 0 <= candidate < horizon:
+                                points.add(candidate)
+    return points

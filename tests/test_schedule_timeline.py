@@ -105,6 +105,57 @@ class TestMoves:
         with pytest.raises(InvalidScheduleError):
             timeline.move_gain(node, tiny_multi_instance.deadline)
 
+    def test_move_outside_horizon_rejected_and_leaves_state(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        timeline = PowerTimeline(tiny_multi_instance, schedule)
+        node = tiny_multi_instance.dag.nodes()[0]
+        start = timeline.start_of(node)
+        before = timeline.power_array()
+        with pytest.raises(InvalidScheduleError):
+            timeline.move(node, tiny_multi_instance.deadline)
+        assert timeline.start_of(node) == start
+        assert (timeline.power_array() == before).all()
+
+    def test_move_matches_remove_place(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        first = PowerTimeline(tiny_multi_instance, schedule)
+        second = PowerTimeline(tiny_multi_instance, schedule)
+        dag = tiny_multi_instance.dag
+        for node in dag.nodes():
+            candidate = min(
+                tiny_multi_instance.deadline - dag.duration(node),
+                first.start_of(node) + 3,
+            )
+            first.move(node, candidate)
+            second.remove(node)
+            second.place(node, candidate)
+            assert first.start_of(node) == second.start_of(node)
+            assert (first.power_array() == second.power_array()).all()
+
+    def test_unchecked_fast_paths_match_checked(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        checked = PowerTimeline(tiny_multi_instance, schedule)
+        unchecked = PowerTimeline(tiny_multi_instance, schedule)
+        node = tiny_multi_instance.dag.nodes()[0]
+        start = checked.start_of(node)
+        checked.remove(node)
+        checked.place(node, start)
+        unchecked._remove_unchecked(node, start)
+        unchecked._place_unchecked(node, start)
+        assert (checked.power_array() == unchecked.power_array()).all()
+        assert checked.start_of(node) == unchecked.start_of(node)
+
+    def test_gain_profile_covers_current_start_with_zero(self, tiny_multi_instance):
+        schedule = asap_schedule(tiny_multi_instance)
+        timeline = PowerTimeline(tiny_multi_instance, schedule)
+        dag = tiny_multi_instance.dag
+        node = dag.nodes()[0]
+        start = timeline.start_of(node)
+        hi = tiny_multi_instance.deadline - dag.duration(node)
+        profile = timeline.gain_profile(node, 0, hi)
+        assert profile[start] == 0
+        assert len(profile) == hi + 1
+
 
 class TestAsSchedule:
     def test_roundtrip_through_schedule(self, tiny_multi_instance):
